@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(section 5) on the virtual-time substrate, prints it next to the paper's
+numbers, writes the rendering to ``benchmarks/results/``, and asserts the
+*shape* claims (who wins, where scaling saturates) rather than absolute
+times.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record(results_dir):
+    """Persist a rendered table/figure and echo it to stdout."""
+
+    def _record(experiment_id: str, rendered: str) -> None:
+        (results_dir / f"{experiment_id}.txt").write_text(rendered + "\n")
+        print(f"\n{rendered}\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def battlefield_app():
+    """The canonical Tables-7-11 battlefield application (32x32 general
+    engagement), shared across benches since construction is cheap but the
+    graph build is not free."""
+    from repro.apps.battlefield import BattlefieldApp, general_engagement
+
+    return BattlefieldApp(general_engagement())
+
+
+def assert_close_shape(ours, paper, rel=0.6):
+    """Every cell within a generous relative band of the paper's value.
+
+    The substrate is a calibrated simulator, not the authors' Origin-2000;
+    the default band (+-60 %) catches order-of-magnitude drift while
+    tolerating model error.
+    """
+    for row_ours, row_paper in zip(ours, paper):
+        assert abs(row_ours - row_paper) <= rel * row_paper, (
+            f"{row_ours} vs paper {row_paper}"
+        )

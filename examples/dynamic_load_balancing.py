@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Dynamic load balancing and task migration in action (sections 4.3, 5.5).
+
+A persistent load imbalance -- the first half of the node IDs run the 3 ms
+coarse grain, the rest the 0.3 ms fine grain -- that no weight-blind static
+partitioner can capture.  The run compares:
+
+* the static Metis partition,
+* the thesis's centralized heuristic (busy = 25 % above ALL neighbours,
+  one task migrated per busy-idle pair), and
+* the greedy pairing extension (section 7's "more rigorous algorithm").
+
+It also prints the migration log: watch tasks stream from the heavy region
+to the idle processors over successive balancer invocations.
+
+Run:  python examples/dynamic_load_balancing.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.imbalance import ImbalanceSchedule, make_imbalanced_average_fn
+from repro.core import (
+    CentralizedHeuristicBalancer,
+    GreedyPairBalancer,
+    ICPlatform,
+    PlatformConfig,
+)
+from repro.graphs import hex64
+from repro.partitioning import MetisLikePartitioner
+
+ITERATIONS = 60
+NPROCS = 8
+
+#: heavy first half forever -- invisible to a static partitioner.
+SCHEDULE = ImbalanceSchedule(windows=((10**9, 0.0, 0.5),))
+
+
+def main() -> None:
+    graph = hex64()
+    partition = MetisLikePartitioner(seed=1).partition(graph, NPROCS)
+    node_fn = make_imbalanced_average_fn(SCHEDULE)
+
+    def run(dynamic: bool, balancer=None):
+        config = PlatformConfig(
+            iterations=ITERATIONS,
+            dynamic_load_balancing=dynamic,
+            lb_period=10,
+            track_trace=True,
+        )
+        platform = ICPlatform(graph, node_fn, config=config, balancer=balancer)
+        return platform.run(partition)
+
+    static = run(dynamic=False)
+    centralized = run(dynamic=True, balancer=CentralizedHeuristicBalancer(0.25))
+    greedy = run(dynamic=True, balancer=GreedyPairBalancer(0.25))
+
+    print(f"hex64, {NPROCS} processors, {ITERATIONS} iterations, "
+          f"heavy region = first 50% of node IDs\n")
+    print(f"  {'strategy':<22} {'elapsed (s)':>12} {'migrations':>11}")
+    for label, result in (
+        ("static partition", static),
+        ("centralized heuristic", centralized),
+        ("greedy pairing", greedy),
+    ):
+        print(f"  {label:<22} {result.elapsed:>12.3f} {len(result.migrations):>11}")
+
+    print("\nmigration log (greedy):")
+    for event in greedy.migrations[:12]:
+        print(
+            f"  iteration {event.iteration:>3}: node {event.global_id:>3} "
+            f"proc {event.from_proc} -> proc {event.to_proc}"
+        )
+    if len(greedy.migrations) > 12:
+        print(f"  ... {len(greedy.migrations) - 12} more")
+
+    moved_heavy = sum(
+        1 for e in greedy.migrations if e.global_id <= graph.num_nodes // 2
+    )
+    print(
+        f"\n{moved_heavy}/{len(greedy.migrations)} migrated tasks were heavy "
+        "nodes -- the balancer diffuses exactly the load the static "
+        "partitioner could not see."
+    )
+    print("\ncompute-imbalance trace (greedy; 1.0 = perfectly balanced):")
+    series = dict(greedy.trace.imbalance_series())
+    for iteration in (1, 10, 11, 20, 21, 40, 60):
+        print(f"  iteration {iteration:>3}: {series[iteration]:.3f}")
+
+    # Values are identical regardless of strategy: migration is transparent.
+    assert static.values == greedy.values == centralized.values
+    print("\nfinal node values identical across all three strategies: True")
+
+
+if __name__ == "__main__":
+    main()

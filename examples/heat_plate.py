@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Difference equations on the platform: a Jacobi heat plate.
+
+The introduction motivates iC2mpi with "mesh-structured computations, such
+as difference equations [Q04]".  This example solves the steady-state heat
+equation on a 24x24 plate (top edge hot, others cold) by Jacobi relaxation,
+distributed over 8 simulated processors, and prints the converging
+temperature field plus the residual curve.
+
+Run:  python examples/heat_plate.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import hot_edge_plate, make_jacobi_fn, residual
+from repro.core import ICPlatform, PlatformConfig
+from repro.partitioning import MetisLikePartitioner
+
+ROWS = COLS = 24
+NPROCS = 8
+
+
+def render_field(values: dict[int, float], rows: int, cols: int) -> str:
+    """Coarse thermal map: one glyph per 3x3 block."""
+    glyphs = " .:-=+*#%@"
+    lines = []
+    for r in range(0, rows, 3):
+        row = ""
+        for c in range(0, cols, 3):
+            block = [
+                values[rr * cols + cc + 1]
+                for rr in range(r, min(r + 3, rows))
+                for cc in range(c, min(c + 3, cols))
+            ]
+            mean = sum(block) / len(block)
+            row += glyphs[min(9, int(mean / 100.0 * 9.99))]
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def main() -> None:
+    graph, boundary, init_value = hot_edge_plate(ROWS, COLS)
+    partition = MetisLikePartitioner(seed=1).partition(graph, NPROCS)
+    print(f"plate {ROWS}x{COLS}, {NPROCS} processors, partition cut "
+          f"{partition.edge_cut()}")
+
+    values = {gid: init_value(gid) for gid in graph.nodes()}
+    print(f"\ninitial residual: {residual(graph, values, boundary):7.3f}")
+
+    total_iterations = 0
+    for batch in (10, 40, 150):
+        platform = ICPlatform(
+            graph,
+            make_jacobi_fn(boundary),
+            init_value=lambda gid: values[gid],
+            config=PlatformConfig(iterations=batch),
+        )
+        result = platform.run(partition)
+        values = result.values
+        total_iterations += batch
+        print(
+            f"after {total_iterations:>4} iterations: residual "
+            f"{residual(graph, values, boundary):7.3f}   "
+            f"(elapsed {result.elapsed:.4f} virtual s)"
+        )
+
+    print("\ntemperature field (hot top edge, @ = 100 degrees):")
+    print(render_field(values, ROWS, COLS))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""The platform as a partitioning test-bed (Goal 3 of the thesis).
+
+Designers of partitioning algorithms "can only estimate the efficiency of
+their techniques analytically"; iC2mpi lets them *execute*.  This example
+pits six partitioners against each other on two very different graphs --
+a regular hex mesh and an irregular random graph -- and ranks them by
+actual platform runtime, not just edge cut.
+
+It also shows the PaGrid-style architecture-awareness: on a heterogeneous
+two-cluster machine with expensive inter-cluster links, partitioning
+*against the processor graph* beats partitioning in the abstract.
+
+Run:  python examples/partitioner_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import FINE_GRAIN, make_average_fn
+from repro.core import ICPlatform, PlatformConfig
+from repro.graphs import hex64, random_connected_graph
+from repro.mpi import MachineModel, TopologyMachineModel
+from repro.partitioning import (
+    BfsGreedyPartitioner,
+    MetisLikePartitioner,
+    PaGridLikePartitioner,
+    ProcessorGraph,
+    RandomPartitioner,
+    RoundRobinPartitioner,
+    SpectralPartitioner,
+)
+
+NPROCS = 8
+ITERATIONS = 20
+
+
+def runtime(graph, partition, machine=None) -> float:
+    platform = ICPlatform(
+        graph, make_average_fn(FINE_GRAIN), config=PlatformConfig(iterations=ITERATIONS)
+    )
+    kwargs = {"machine": machine} if machine else {}
+    return platform.run(partition, **kwargs).elapsed
+
+
+def main() -> None:
+    graphs = {
+        "hex64 (regular mesh)": hex64(),
+        "rand64 (irregular)": random_connected_graph(64, 4.0, seed=0, name="rand64"),
+    }
+    partitioners = [
+        MetisLikePartitioner(seed=1),
+        SpectralPartitioner(seed=1),
+        BfsGreedyPartitioner(seed=1),
+        PaGridLikePartitioner(ProcessorGraph.hypercube(NPROCS), rref=0.45, seed=1),
+        RandomPartitioner(seed=1),
+        RoundRobinPartitioner(),
+    ]
+
+    for label, graph in graphs.items():
+        print(f"\n{label}, {NPROCS} processors, {ITERATIONS} iterations:")
+        print(f"  {'partitioner':<12} {'edge cut':>8} {'imbalance':>10} {'runtime (s)':>12}")
+        rows = []
+        for partitioner in partitioners:
+            partition = partitioner.partition(graph, NPROCS)
+            rows.append(
+                (runtime(graph, partition), partition.method,
+                 partition.edge_cut(), partition.imbalance())
+            )
+        for elapsed, method, cut, imbalance in sorted(rows):
+            print(f"  {method:<12} {cut:>8} {imbalance:>10.3f} {elapsed:>12.4f}")
+
+    # --- Architecture awareness on a heterogeneous grid ------------------
+    print("\nheterogeneous machine: two 4-processor clusters, inter-cluster "
+          "links 10x slower")
+    procgraph = ProcessorGraph.heterogeneous_grid([4, 4], intra_cost=1.0, inter_cost=10.0)
+    # The machine model carries the SAME topology: messages crossing the
+    # slow inter-cluster links pay for the distance, so a better mapping
+    # becomes a better runtime.
+    base = MachineModel(name="grid", latency=200e-6, bandwidth=20e6,
+                        send_overhead=30e-6, recv_overhead=30e-6)
+    machine = TopologyMachineModel.wrap(base, procgraph, hop_latency_factor=1.0)
+    graph = hex64()
+    from repro.partitioning import Partition
+
+    metis = MetisLikePartitioner(seed=1).partition(graph, NPROCS)
+    # A topology-oblivious partitioner makes no promise about part
+    # numbering; interleave the labels across the two clusters to stand for
+    # the arbitrary mapping you get in general.  (Recursive bisection's own
+    # numbering happens to be hierarchical and thus accidentally
+    # cluster-friendly -- worth knowing, but not something to rely on.)
+    perm = [0, 4, 1, 5, 2, 6, 3, 7]
+    scrambled = Partition.from_assignment(
+        graph, [perm[p] for p in metis.assignment], NPROCS, method="metis-anymap"
+    )
+    pagrid = PaGridLikePartitioner(procgraph, rref=0.45, seed=1).partition(
+        graph, NPROCS
+    )
+    for partition in (scrambled, metis, pagrid):
+        cost = sum(
+            procgraph.distance(partition.owner(u), partition.owner(v))
+            for u, v in graph.edges()
+            if partition.owner(u) != partition.owner(v)
+        )
+        print(
+            f"  {partition.method:<13} cut={partition.edge_cut():<4} "
+            f"mapped comm cost={cost:7.1f}  "
+            f"runtime={runtime(graph, partition, machine):.4f}s"
+        )
+    print(
+        "\n  note: with the platform's per-iteration barrier, concurrent\n"
+        "  message flights overlap, so end-to-end runtime only feels the\n"
+        "  WORST link each iteration -- mapping quality (the 377 -> 205\n"
+        "  cost drop above) pays off when many peers contend at scale, as\n"
+        "  the Figure-17 benchmark shows, not on this 2-cluster toy."
+    )
+
+
+if __name__ == "__main__":
+    main()

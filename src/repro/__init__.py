@@ -1,0 +1,36 @@
+"""iC2mpi reproduction: parallel execution of graph-structured iterative
+computations on a virtual-time simulated MPI substrate.
+
+The package reproduces Botadra's iC2mpi platform (GSU M.S. thesis, 2006 /
+IPPS 2007 workshop):
+
+* :mod:`repro.mpi` -- the simulated MPI runtime (thread-per-rank, virtual
+  clocks, Origin-2000-calibrated cost model),
+* :mod:`repro.graphs` -- application graphs, hex grids, Chaco I/O, metrics,
+* :mod:`repro.partitioning` -- Metis-like multilevel k-way, PaGrid-like
+  architecture-aware, band/gray-code/spectral/simple partitioners,
+* :mod:`repro.core` -- the platform itself: node stores, compute/communicate
+  sweeps, dynamic load balancing, task migration,
+* :mod:`repro.apps` -- the neighbour-average workloads and the battlefield
+  management simulation,
+* :mod:`repro.bench` -- the experiment harness regenerating every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.graphs import hex64
+    from repro.partitioning import MetisLikePartitioner
+    from repro.core import ICPlatform, PlatformConfig
+    from repro.apps import make_average_fn, FINE_GRAIN
+
+    graph = hex64()
+    partition = MetisLikePartitioner(seed=1).partition(graph, 8)
+    platform = ICPlatform(graph, make_average_fn(FINE_GRAIN),
+                          config=PlatformConfig(iterations=20))
+    result = platform.run(partition)
+    print(f"elapsed {result.elapsed:.4f} virtual seconds on 8 processors")
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,109 @@
+"""Cellular automata on the platform.
+
+The introduction cites cellular automata [CCE01] as a member of the
+iterative graph-structured class; this module deploys two of them as
+platform plug-ins:
+
+* **Game of Life** on a 4-neighbour... no -- on its proper 8-neighbour
+  Moore grid (built here as a graph, demonstrating that the platform is
+  agnostic to where the adjacency comes from), and
+* a **majority-vote** automaton usable on *any* application graph (hex
+  grids included), whose convergence to stable domains is a handy test
+  invariant.
+
+Both are pure functions of the one-hop view, so they drop straight into
+the platform's node-function slot.
+"""
+
+from __future__ import annotations
+
+from ..core.compute import ComputeContext, NodeFn, NodeView
+from ..graphs.graph import Graph
+
+__all__ = [
+    "moore_grid",
+    "make_life_fn",
+    "life_step_reference",
+    "make_majority_fn",
+    "glider_board",
+]
+
+#: Default virtual compute grain per cell update.
+CELL_GRAIN = 20e-6
+
+
+def moore_grid(rows: int, cols: int) -> Graph:
+    """A rows x cols grid with 8-neighbour (Moore) adjacency, 1-based
+    row-major IDs -- the Game of Life's home turf."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid must be at least 1x1")
+    edges = []
+
+    def gid(r: int, c: int) -> int:
+        return r * cols + c + 1
+
+    for r in range(rows):
+        for c in range(cols):
+            for dr, dc in ((0, 1), (1, -1), (1, 0), (1, 1)):
+                nr, nc = r + dr, c + dc
+                if 0 <= nr < rows and 0 <= nc < cols:
+                    edges.append((gid(r, c), gid(nr, nc)))
+    return Graph.from_edges(rows * cols, edges, name=f"moore{rows}x{cols}")
+
+
+def make_life_fn(grain: float = CELL_GRAIN) -> NodeFn:
+    """Conway's Game of Life as an application node function.
+
+    Cell values are 0/1.  B3/S23: a dead cell with exactly three live
+    Moore neighbours is born; a live cell with two or three survives.
+    """
+
+    def life_fn(node: NodeView, ctx: ComputeContext) -> int:
+        ctx.work(grain)
+        live = sum(node.neighbor_values())
+        if node.value:
+            return 1 if live in (2, 3) else 0
+        return 1 if live == 3 else 0
+
+    return life_fn
+
+
+def life_step_reference(graph: Graph, cells: dict[int, int]) -> dict[int, int]:
+    """Synchronous reference step (for equivalence tests)."""
+    out = {}
+    for gid in graph.nodes():
+        live = sum(cells[v] for v in graph.neighbors(gid))
+        if cells[gid]:
+            out[gid] = 1 if live in (2, 3) else 0
+        else:
+            out[gid] = 1 if live == 3 else 0
+    return out
+
+
+def glider_board(rows: int = 16, cols: int = 16) -> dict[int, int]:
+    """A single glider in the top-left corner of a Moore grid."""
+    def gid(r: int, c: int) -> int:
+        return r * cols + c + 1
+
+    cells = {g: 0 for g in range(1, rows * cols + 1)}
+    for r, c in ((0, 1), (1, 2), (2, 0), (2, 1), (2, 2)):
+        cells[gid(r, c)] = 1
+    return cells
+
+
+def make_majority_fn(grain: float = CELL_GRAIN) -> NodeFn:
+    """Majority-vote automaton: adopt the majority state of self +
+    neighbours (ties keep the current state).  Works on any graph."""
+
+    def majority_fn(node: NodeView, ctx: ComputeContext) -> int:
+        ctx.work(grain)
+        votes = [node.value, *node.neighbor_values()]
+        ones = sum(votes)
+        zeros = len(votes) - ones
+        if ones > zeros:
+            return 1
+        if zeros > ones:
+            return 0
+        return node.value
+
+    return majority_fn

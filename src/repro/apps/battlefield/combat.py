@@ -1,0 +1,85 @@
+"""Combat resolution: targeting and attrition.
+
+Each unit engages every enemy-held hex it can see -- its own hex at full
+intensity and the six neighbouring hexes at reduced intensity ([DMP98]'s
+per-direction targeting, Figure 2's ``target``/``destroyed`` bookkeeping).
+Attrition follows a Lanchester-style square law: the damage a hex's
+defenders take is proportional to the firepower aimed at them.
+
+Crucially, the damage a hex receives depends only on its own state and its
+immediate neighbours' states, so every hex can resolve its own losses from
+the platform's one-hop view -- no two-hop information is ever needed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .state import BLUE, RED, HexState
+
+__all__ = ["CombatModel"]
+
+
+class CombatModel:
+    """Attrition parameters and the incoming-fire computation.
+
+    Attributes:
+        kill_rate: Fraction of aimed firepower converted to destroyed
+            assets per step.
+        adjacent_intensity: Fire intensity into neighbouring hexes relative
+            to the unit's own hex (range attenuation).
+    """
+
+    def __init__(self, kill_rate: float = 0.04, adjacent_intensity: float = 0.5) -> None:
+        if not 0.0 <= kill_rate <= 1.0:
+            raise ValueError(f"kill_rate must be in [0, 1], got {kill_rate}")
+        if not 0.0 <= adjacent_intensity <= 1.0:
+            raise ValueError(
+                f"adjacent_intensity must be in [0, 1], got {adjacent_intensity}"
+            )
+        self.kill_rate = kill_rate
+        self.adjacent_intensity = adjacent_intensity
+
+    def incoming_fire(
+        self, own: HexState, neighbors: Sequence[HexState]
+    ) -> tuple[float, float]:
+        """Firepower aimed at ``own`` this step.
+
+        Returns ``(fire_at_red, fire_at_blue)``: blue strength in and around
+        the hex shoots at red defenders and vice versa.  Fire only counts
+        when there is something to shoot at (units do not waste fire on
+        empty hexes).
+        """
+        fire_at_red = 0.0
+        fire_at_blue = 0.0
+        if own.red > 0:
+            fire_at_red = own.blue + self.adjacent_intensity * sum(
+                s.blue for s in neighbors
+            )
+        if own.blue > 0:
+            fire_at_blue = own.red + self.adjacent_intensity * sum(
+                s.red for s in neighbors
+            )
+        return fire_at_red, fire_at_blue
+
+    def resolve(
+        self, own: HexState, neighbors: Sequence[HexState]
+    ) -> tuple[float, float, float, float]:
+        """Apply one step of attrition to ``own``.
+
+        Returns ``(new_red, new_blue, red_losses, blue_losses)``; losses
+        are capped at the strength present.
+        """
+        fire_at_red, fire_at_blue = self.incoming_fire(own, neighbors)
+        red_losses = min(own.red, self.kill_rate * fire_at_red)
+        blue_losses = min(own.blue, self.kill_rate * fire_at_blue)
+        return own.red - red_losses, own.blue - blue_losses, red_losses, blue_losses
+
+    def threat(self, own: HexState, neighbors: Sequence[HexState]) -> tuple[float, float]:
+        """Visible enemy strength per side: ``(threat_to_red, threat_to_blue)``.
+
+        Used by the movement rules to decide advance vs hold.
+        """
+        blue_visible = own.blue + sum(s.blue for s in neighbors)
+        red_visible = own.red + sum(s.red for s in neighbors)
+        return blue_visible, red_visible

@@ -1,0 +1,123 @@
+"""Movement doctrine: where units march after combat.
+
+Each side decides its departures from purely local (one-hop) information:
+
+* **engage** -- enemy visible in a neighbouring hex: a fraction of the
+  force advances into the neighbouring hex with the strongest enemy
+  presence (mass against the threat);
+* **advance** -- no enemy visible: a fraction marches toward the side's
+  objective (red pushes east, blue pushes west), which is what makes the
+  two fronts collide mid-terrain and the combat zone "form dynamically";
+* **retreat** -- own hex overrun (enemy locally outnumbers the side by the
+  retreat ratio): fall back to the friendliest neighbouring hex.
+
+Only the hex itself computes its departures; neighbours merely read the
+resulting ``departures`` tuple during the movement round, so no two-hop
+knowledge is required anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .state import BLUE, RED, Departure, HexState, Side
+
+__all__ = ["MovementModel"]
+
+#: Maps a global hex ID to its grid column (for objective-directed marches).
+ColumnOf = Callable[[int], int]
+
+
+class MovementModel:
+    """Movement parameters and the departure decision.
+
+    Attributes:
+        advance_fraction: Share of a hex's force that marches when moving
+            toward the objective or toward the enemy.
+        retreat_fraction: Share that falls back when overrun.
+        retreat_ratio: Local enemy:own strength ratio that triggers retreat.
+        min_move: Strength below which a force stays put (stragglers hold).
+    """
+
+    def __init__(
+        self,
+        advance_fraction: float = 0.5,
+        retreat_fraction: float = 0.75,
+        retreat_ratio: float = 3.0,
+        min_move: float = 0.25,
+    ) -> None:
+        if not 0.0 <= advance_fraction <= 1.0:
+            raise ValueError(f"advance_fraction must be in [0, 1], got {advance_fraction}")
+        if not 0.0 <= retreat_fraction <= 1.0:
+            raise ValueError(f"retreat_fraction must be in [0, 1], got {retreat_fraction}")
+        if retreat_ratio <= 1.0:
+            raise ValueError(f"retreat_ratio must exceed 1, got {retreat_ratio}")
+        if min_move < 0:
+            raise ValueError(f"min_move must be >= 0, got {min_move}")
+        self.advance_fraction = advance_fraction
+        self.retreat_fraction = retreat_fraction
+        self.retreat_ratio = retreat_ratio
+        self.min_move = min_move
+
+    def departures_for_side(
+        self,
+        side: Side,
+        own_gid: int,
+        own_strength: float,
+        enemy_here: float,
+        neighbors: Sequence[HexState],
+        column_of: ColumnOf,
+    ) -> list[Departure]:
+        """Departures of ``side`` from hex ``own_gid`` holding ``own_strength``.
+
+        Args:
+            side: ``"red"`` or ``"blue"``.
+            own_gid: Global ID of the deciding hex.
+            own_strength: Post-combat strength of this side in the hex.
+            enemy_here: Post-combat enemy strength sharing the hex.
+            neighbors: Committed neighbour states (one-hop view).
+            column_of: Grid-column lookup for the objective direction.
+        """
+        if own_strength <= self.min_move or not neighbors:
+            return []
+        enemy = BLUE if side == RED else RED
+
+        # Retreat: locally overrun.
+        if enemy_here > self.retreat_ratio * max(own_strength, 1e-9):
+            dest = min(
+                neighbors,
+                key=lambda s: (s.strength(enemy) - s.strength(side), s.gid),
+            )
+            amount = self.retreat_fraction * own_strength
+            if amount > self.min_move:
+                return [Departure(dest.gid, side, amount)]
+            return []
+
+        # Engage: mass toward the strongest visible enemy concentration.
+        hostile = [s for s in neighbors if s.strength(enemy) > 0]
+        if hostile:
+            dest = max(hostile, key=lambda s: (s.strength(enemy), -s.gid))
+            # Do not charge into a hex that massively outguns the mover.
+            amount = self.advance_fraction * own_strength
+            if dest.strength(enemy) > self.retreat_ratio * amount:
+                return []
+            if amount > self.min_move:
+                return [Departure(dest.gid, side, amount)]
+            return []
+        if enemy_here > 0:
+            return []  # enemy in our own hex: stand and fight
+
+        # Advance on the objective: red pushes to higher columns, blue lower.
+        here = column_of(own_gid)
+        if side == RED:
+            dest = max(neighbors, key=lambda s: (column_of(s.gid), -s.gid))
+            forward = column_of(dest.gid) > here
+        else:
+            dest = min(neighbors, key=lambda s: (column_of(s.gid), s.gid))
+            forward = column_of(dest.gid) < here
+        if not forward:
+            return []  # at the map edge in the objective direction
+        amount = self.advance_fraction * own_strength
+        if amount > self.min_move:
+            return [Departure(dest.gid, side, amount)]
+        return []

@@ -1,0 +1,217 @@
+"""Cost-model calibration against published runtimes.
+
+The `ORIGIN2000` machine model and the default `PlatformCosts` were fitted
+once against Tables 2-6 with the coordinate-descent search implemented
+here.  Keeping the fitter in the library means the reproduction can be
+re-calibrated against a different machine's measurements (or re-verified)
+at any time::
+
+    from repro.bench.calibration import CalibrationProblem, coordinate_descent
+    problem = CalibrationProblem.tables_2_to_6()
+    best, error = coordinate_descent(problem, sweeps=2)
+
+The objective is the mean relative error over every (graph, iterations,
+processors) cell of the target tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..apps.average import FINE_GRAIN, make_average_fn
+from ..core.config import PlatformConfig, PlatformCosts
+from ..core.platform import ICPlatform
+from ..graphs.generators import random_connected_graph
+from ..graphs.graph import Graph
+from ..mpi.timing import MachineModel
+from ..partitioning.base import Partition
+from ..partitioning.multilevel.kway import MetisLikePartitioner
+from .paperdata import PAPER_TABLES, PROCS
+
+__all__ = ["CalibrationParam", "CalibrationProblem", "evaluate", "coordinate_descent"]
+
+
+@dataclass(frozen=True)
+class CalibrationParam:
+    """One tunable constant.
+
+    Attributes:
+        name: Identifier (used in the result mapping).
+        grid: Candidate values for the coordinate-descent sweep.
+        target: ``"machine"`` (a :class:`MachineModel` field) or ``"costs"``
+            (a :class:`PlatformCosts` field).
+        fields: The dataclass field(s) this parameter sets (several fields
+            may share one value, e.g. send and receive overhead).
+    """
+
+    name: str
+    grid: tuple[float, ...]
+    target: str
+    fields: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.target not in ("machine", "costs"):
+            raise ValueError(f"target must be 'machine' or 'costs', got {self.target!r}")
+        if not self.grid:
+            raise ValueError(f"parameter {self.name}: empty grid")
+
+
+@dataclass
+class CalibrationProblem:
+    """A set of target tables plus the parameters to fit.
+
+    Attributes:
+        cells: ``(graph, iterations, procs_index) -> paper seconds`` --
+            flattened target cells.
+        graphs: The benchmark graphs, keyed by label.
+        params: Tunable parameters.
+        base_machine: Machine model the parameter overrides start from.
+        base_costs: Cost constants the overrides start from.
+        iterations: Iteration counts to run (rows).
+        procs: Processor axis (columns).
+    """
+
+    tables: Mapping[str, Mapping[int, Sequence[float]]]
+    graphs: Mapping[str, Graph]
+    params: Sequence[CalibrationParam]
+    base_machine: MachineModel
+    base_costs: PlatformCosts
+    iterations: tuple[int, ...] = (20,)
+    procs: tuple[int, ...] = tuple(PROCS)
+    partitioner_seed: int = 1
+    _partitions: dict[tuple[str, int], Partition] = field(default_factory=dict)
+
+    @classmethod
+    def tables_2_to_6(
+        cls,
+        params: Sequence[CalibrationParam] | None = None,
+        iterations: tuple[int, ...] = (20,),
+        procs: tuple[int, ...] = tuple(PROCS),
+    ) -> "CalibrationProblem":
+        """The calibration used for this repository's defaults."""
+        from ..graphs.hexgrid import hex32, hex64, hex96
+        from ..mpi.timing import ORIGIN2000
+
+        graphs = {
+            "table2_hex32": hex32(),
+            "table3_hex64": hex64(),
+            "table4_hex96": hex96(),
+            "table5_rand32": random_connected_graph(32, 4.0, seed=0, name="rand32"),
+            "table6_rand64": random_connected_graph(64, 4.0, seed=0, name="rand64"),
+        }
+        default_params = params or (
+            CalibrationParam(
+                "latency", (15e-6, 30e-6, 50e-6), "machine", ("latency",)
+            ),
+            CalibrationParam(
+                "overhead", (20e-6, 35e-6, 50e-6), "machine",
+                ("send_overhead", "recv_overhead"),
+            ),
+            CalibrationParam(
+                "scan", (0.6e-6, 0.8e-6, 1.2e-6), "costs",
+                ("data_scan_item_cost", "unpack_scan_item_cost"),
+            ),
+            CalibrationParam(
+                "recv_setup", (60e-6, 100e-6, 150e-6), "costs", ("recv_setup_cost",)
+            ),
+        )
+        return cls(
+            tables={k: PAPER_TABLES[k] for k in graphs},
+            graphs=graphs,
+            params=default_params,
+            base_machine=ORIGIN2000,
+            base_costs=PlatformCosts(),
+            iterations=iterations,
+            procs=procs,
+        )
+
+    def partition_for(self, label: str, nprocs: int) -> Partition:
+        key = (label, nprocs)
+        if key not in self._partitions:
+            self._partitions[key] = MetisLikePartitioner(
+                seed=self.partitioner_seed
+            ).partition(self.graphs[label], nprocs)
+        return self._partitions[key]
+
+    def apply(self, values: Mapping[str, float]) -> tuple[MachineModel, PlatformCosts]:
+        """Materialize parameter values into (machine, costs)."""
+        machine_overrides: dict[str, float] = {}
+        cost_overrides: dict[str, float] = {}
+        for param in self.params:
+            if param.name not in values:
+                continue
+            for fname in param.fields:
+                if param.target == "machine":
+                    machine_overrides[fname] = values[param.name]
+                else:
+                    cost_overrides[fname] = values[param.name]
+        machine = (
+            self.base_machine.with_overrides(**machine_overrides)
+            if machine_overrides
+            else self.base_machine
+        )
+        costs = (
+            self.base_costs.with_overrides(**cost_overrides)
+            if cost_overrides
+            else self.base_costs
+        )
+        return machine, costs
+
+
+def evaluate(problem: CalibrationProblem, values: Mapping[str, float]) -> float:
+    """Mean relative error over every target cell for one parameter setting."""
+    machine, costs = problem.apply(values)
+    node_fn = make_average_fn(FINE_GRAIN)
+    total = 0.0
+    count = 0
+    for label, rows in problem.tables.items():
+        graph = problem.graphs[label]
+        for iters in problem.iterations:
+            paper_row = rows[iters]
+            for idx, nprocs in enumerate(problem.procs):
+                paper_value = paper_row[list(PROCS).index(nprocs)]
+                config = PlatformConfig(iterations=iters, costs=costs)
+                platform = ICPlatform(graph, node_fn, config=config)
+                elapsed = platform.run(
+                    problem.partition_for(label, nprocs), machine=machine
+                ).elapsed
+                total += abs(elapsed - paper_value) / paper_value
+                count += 1
+    return total / max(1, count)
+
+
+def coordinate_descent(
+    problem: CalibrationProblem,
+    sweeps: int = 2,
+    on_step: Callable[[str, float, float], None] | None = None,
+) -> tuple[dict[str, float], float]:
+    """Greedy per-parameter grid search.
+
+    Args:
+        problem: What to fit against.
+        sweeps: Full passes over the parameter list.
+        on_step: Optional callback ``(param_name, value, error)`` per trial.
+
+    Returns:
+        ``(best values, best mean relative error)``.
+    """
+    best = {p.name: p.grid[len(p.grid) // 2] for p in problem.params}
+    best_error = evaluate(problem, best)
+    for _ in range(sweeps):
+        improved = False
+        for param in problem.params:
+            for value in param.grid:
+                if value == best[param.name]:
+                    continue
+                trial = dict(best)
+                trial[param.name] = value
+                error = evaluate(problem, trial)
+                if on_step is not None:
+                    on_step(param.name, value, error)
+                if error < best_error - 1e-9:
+                    best, best_error = trial, error
+                    improved = True
+        if not improved:
+            break
+    return best, best_error

@@ -1,0 +1,77 @@
+"""The paper's published numbers (Tables 2-11), used for side-by-side
+comparison in the benchmark harness and EXPERIMENTS.md.
+
+All values are seconds, rows keyed by iteration / simulation-step count,
+columns in processor order ``(1, 2, 4, 8, 16)``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PROCS", "PAPER_TABLES"]
+
+#: Processor counts used across the whole evaluation section.
+PROCS: tuple[int, ...] = (1, 2, 4, 8, 16)
+
+#: Table id -> {iterations/steps -> [seconds per processor count]}.
+PAPER_TABLES: dict[str, dict[int, list[float]]] = {
+    # Table 2: 32-node hexagonal grids (fine grain, Metis)
+    "table2_hex32": {
+        10: [0.111, 0.0580, 0.0315, 0.0191, 0.028],
+        15: [0.165, 0.085, 0.0462, 0.027, 0.035],
+        20: [0.209, 0.113, 0.0605, 0.0435, 0.0434],
+    },
+    # Table 3: 64-node hexagonal grids
+    "table3_hex64": {
+        10: [0.218, 0.113, 0.0708, 0.0348, 0.039],
+        15: [0.344, 0.178, 0.092, 0.0585, 0.056],
+        20: [0.458, 0.236, 0.136, 0.0829, 0.0638],
+    },
+    # Table 4: 96-node hexagonal grids
+    "table4_hex96": {
+        10: [0.3528, 0.177, 0.0912, 0.0603, 0.052],
+        15: [0.527, 0.254, 0.135, 0.0809, 0.071],
+        20: [0.7016, 0.352, 0.180, 0.106, 0.085],
+    },
+    # Table 5: 32-node random graphs
+    "table5_rand32": {
+        10: [0.108, 0.056, 0.030, 0.020, 0.035],
+        15: [0.161, 0.082, 0.045, 0.037, 0.044],
+        20: [0.215, 0.109, 0.059, 0.046, 0.049],
+    },
+    # Table 6: 64-node random graphs
+    "table6_rand64": {
+        10: [0.218, 0.111, 0.064, 0.050, 0.051],
+        15: [0.325, 0.167, 0.095, 0.059, 0.067],
+        20: [0.434, 0.221, 0.126, 0.073, 0.083],
+    },
+    # Table 7: battlefield simulator, Metis partition
+    "table7_bf_metis": {
+        5: [0.684, 0.654, 0.537, 0.461, 0.390],
+        15: [1.463, 1.447, 1.109, 0.869, 0.623],
+        25: [2.248, 2.245, 1.666, 1.265, 0.847],
+    },
+    # Table 8: battlefield, gray-code mesh-to-hypercube (BF partition)
+    "table8_bf_graycode": {
+        5: [0.681, 1.360, 0.926, 0.645, 0.454],
+        15: [1.410, 3.578, 2.279, 1.413, 0.814],
+        25: [2.255, 5.752, 3.627, 2.166, 1.164],
+    },
+    # Table 9: battlefield, row band partition
+    "table9_bf_rowband": {
+        5: [0.680, 0.756, 0.606, 0.507, 0.467],
+        15: [1.456, 1.780, 1.347, 1.006, 0.854],
+        25: [2.226, 2.781, 2.057, 1.502, 1.229],
+    },
+    # Table 10: battlefield, column band partition
+    "table10_bf_colband": {
+        5: [0.679, 0.666, 0.543, 0.465, 0.453],
+        15: [1.463, 1.463, 1.112, 0.887, 0.820],
+        25: [2.242, 2.245, 1.689, 1.286, 1.168],
+    },
+    # Table 11: battlefield, rectangular band partition
+    "table11_bf_rectband": {
+        5: [0.682, 0.663, 0.591, 0.503, 0.404],
+        15: [1.456, 1.465, 1.260, 0.981, 0.679],
+        25: [2.243, 2.247, 1.932, 1.464, 0.950],
+    },
+}

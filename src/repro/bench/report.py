@@ -1,0 +1,116 @@
+"""Full evaluation report generator.
+
+``generate_report()`` reruns the paper's entire evaluation section — every
+table and figure — and returns one markdown document with measured results
+rendered next to the published numbers.  ``python -m repro bench all``
+prints it; the benchmark suite is the asserting twin of this module.
+
+A ``quick=True`` mode shrinks the processor axis and averaging so the
+report builds in seconds (used by the tests); the full mode matches the
+benchmark suite's configurations.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+from ..graphs.generators import random_connected_graph
+from .harness import (
+    PERSISTENT_IMBALANCE,
+    hex_graph,
+    run_battlefield_speedups,
+    run_battlefield_table,
+    run_hex_table,
+    run_metis_vs_pagrid,
+    run_overheads,
+    run_random_table,
+    run_speedup_figure,
+    run_static_vs_dynamic,
+)
+
+__all__ = ["generate_report"]
+
+
+def _section(out: io.StringIO, title: str) -> None:
+    out.write(f"\n## {title}\n\n")
+
+
+def _block(out: io.StringIO, rendered: str) -> None:
+    out.write("```\n")
+    out.write(rendered)
+    out.write("\n```\n")
+
+
+def generate_report(
+    quick: bool = False,
+    procs: Sequence[int] | None = None,
+) -> str:
+    """Build the full paper-vs-measured report as markdown.
+
+    Args:
+        quick: Use a reduced processor axis, fewer random-graph seeds and
+            shorter horizons (seconds instead of minutes to build).
+        procs: Override the processor axis entirely.
+    """
+    procs = tuple(procs) if procs is not None else ((1, 4) if quick else (1, 2, 4, 8, 16))
+    seeds = (0,) if quick else (0, 1, 2, 3, 4)
+    sd_iters = 30 if quick else 60
+    bf_steps: tuple[int, ...] = (5,) if quick else (5, 15, 25)
+    schemes = ("metis", "bf") if quick else ("metis", "bf", "rowband", "colband", "rectband")
+
+    out = io.StringIO()
+    out.write("# iC2mpi evaluation report (regenerated)\n")
+    out.write(
+        "\nVirtual-time simulation calibrated against the thesis's "
+        "Origin-2000 results; `(paper)` rows are the published numbers.\n"
+    )
+
+    _section(out, "Tables 2-4: hexagonal grids (fine grain, Metis)")
+    for nodes in (32, 64, 96):
+        table = run_hex_table(nodes, procs=procs)
+        _block(out, table.render())
+
+    _section(out, "Tables 5-6: random graphs (fine grain, Metis)")
+    for nodes in (32, 64):
+        table = run_random_table(nodes, procs=procs, seeds=seeds)
+        _block(out, table.render())
+
+    _section(out, "Figure 11/16: speedups for static partition")
+    hex_tables = [run_hex_table(n, iterations_list=(20,), procs=procs) for n in (32, 64, 96)]
+    _block(out, run_speedup_figure(hex_tables, title="Hex grids").render())
+    rand_tables = [
+        run_random_table(n, iterations_list=(20,), procs=procs, seeds=seeds)
+        for n in (32, 64)
+    ]
+    _block(out, run_speedup_figure(rand_tables, title="Random graphs").render())
+
+    _section(out, "Figures 12/17: Metis vs PaGrid")
+    _block(out, run_metis_vs_pagrid(hex_graph(64), procs=procs).render())
+    rand64 = random_connected_graph(64, 4.0, seed=0, name="rand64")
+    _block(out, run_metis_vs_pagrid(rand64, procs=procs).render())
+
+    _section(out, "Figures 13-15/18-19: static vs dynamic load balancing")
+    for graph in (hex_graph(64), hex_graph(32), rand64):
+        fig = run_static_vs_dynamic(
+            graph, procs=procs, iterations=sd_iters, schedule=PERSISTENT_IMBALANCE
+        )
+        _block(out, fig.render())
+
+    _section(out, "Tables 7-11 / Figure 20: battlefield management simulation")
+    for scheme in schemes:
+        _block(out, run_battlefield_table(scheme, steps_list=bf_steps, procs=procs).render())
+    if not quick:
+        _block(out, run_battlefield_speedups(procs=procs).render())
+
+    _section(out, "Figures 21/22: phase overheads")
+    overhead_procs = tuple(p for p in procs if p >= 2) or (2,)
+    _block(out, run_overheads(hex_graph(64), procs=overhead_procs).render())
+    _block(
+        out,
+        run_overheads(
+            rand64, procs=overhead_procs, experiment_id="fig22_overheads"
+        ).render(),
+    )
+
+    return out.getvalue()

@@ -1,0 +1,346 @@
+"""Command-line interface: the ``MPIFramework`` binary, reimagined.
+
+The thesis drives its platform as::
+
+    mpirun -np num_procs MPIFramework $program_graph
+
+The equivalent here is::
+
+    python -m repro run --graph 64_r_in.txt --np 16 --iterations 20
+
+plus subcommands for the rest of the workflow:
+
+* ``generate``  -- write application graphs in Chaco format,
+* ``partition`` -- run a partitioner plug-in, write the node-to-processor
+  mapping (the ``*_out_Np.txt`` files of Appendix A), print quality stats,
+* ``run``       -- execute the neighbour-average workload on the platform,
+* ``bench``     -- regenerate a named table/figure of the paper,
+* ``info``      -- inspect a graph file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .apps.average import COARSE_GRAIN, FINE_GRAIN, make_average_fn
+from .apps.imbalance import PAPER_SCHEDULE, make_imbalanced_average_fn
+from .core.config import PlatformConfig
+from .core.loadbalance import (
+    CentralizedHeuristicBalancer,
+    DiffusionBalancer,
+    GreedyPairBalancer,
+)
+from .core.platform import ICPlatform
+from .graphs.chaco import read_chaco, read_partition, write_chaco, write_partition
+from .graphs.generators import grid2d, random_connected_graph, torus2d
+from .graphs.graph import Graph
+from .graphs.hexgrid import HexGrid, hex_grid
+from .mpi.timing import ETHERNET_CLUSTER, IDEAL, ORIGIN2000
+from .partitioning.bands import (
+    ColumnBandPartitioner,
+    RectangularPartitioner,
+    RowBandPartitioner,
+)
+from .partitioning.base import Partition, Partitioner
+from .partitioning.graycode import GrayCodePartitioner
+from .partitioning.multilevel.kway import MetisLikePartitioner
+from .partitioning.pagrid import PaGridLikePartitioner
+from .partitioning.procgraph import ProcessorGraph
+from .partitioning.simple import (
+    BfsGreedyPartitioner,
+    RandomPartitioner,
+    RoundRobinPartitioner,
+)
+from .partitioning.spectral import SpectralPartitioner
+
+__all__ = ["main", "build_parser"]
+
+_MACHINES = {
+    "origin2000": ORIGIN2000,
+    "ideal": IDEAL,
+    "ethernet": ETHERNET_CLUSTER,
+}
+
+_BALANCERS = {
+    "centralized": CentralizedHeuristicBalancer,
+    "greedy": GreedyPairBalancer,
+    "diffusion": DiffusionBalancer,
+}
+
+
+def _grid_dims(graph: Graph, rows: int | None, cols: int | None) -> tuple[int, int]:
+    if rows and cols:
+        if rows * cols != graph.num_nodes:
+            raise SystemExit(
+                f"--rows {rows} x --cols {cols} != {graph.num_nodes} graph nodes"
+            )
+        return rows, cols
+    raise SystemExit("this partitioner needs --rows and --cols (grid geometry)")
+
+
+def make_partitioner(
+    scheme: str,
+    nparts: int,
+    seed: int,
+    graph: Graph,
+    rows: int | None = None,
+    cols: int | None = None,
+    rref: float = 0.45,
+) -> Partitioner:
+    """Instantiate a partitioner plug-in by name."""
+    if scheme == "metis":
+        return MetisLikePartitioner(seed=seed)
+    if scheme == "pagrid":
+        return PaGridLikePartitioner(ProcessorGraph.hypercube(nparts), rref=rref, seed=seed)
+    if scheme == "spectral":
+        return SpectralPartitioner(seed=seed)
+    if scheme == "bfsgreedy":
+        return BfsGreedyPartitioner(seed=seed)
+    if scheme == "random":
+        return RandomPartitioner(seed=seed)
+    if scheme == "roundrobin":
+        return RoundRobinPartitioner()
+    if scheme in ("rowband", "colband", "rectband", "graycode"):
+        r, c = _grid_dims(graph, rows, cols)
+        return {
+            "rowband": RowBandPartitioner,
+            "colband": ColumnBandPartitioner,
+            "rectband": RectangularPartitioner,
+            "graycode": GrayCodePartitioner,
+        }[scheme](r, c)
+    raise SystemExit(f"unknown partitioner {scheme!r}")
+
+
+PARTITIONER_CHOICES = (
+    "metis", "pagrid", "spectral", "bfsgreedy", "random", "roundrobin",
+    "rowband", "colband", "rectband", "graycode",
+)
+
+
+# --------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------- #
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "hex":
+        graph = hex_grid(args.rows, args.cols)
+    elif args.kind == "grid":
+        graph = grid2d(args.rows, args.cols)
+    elif args.kind == "torus":
+        graph = torus2d(args.rows, args.cols)
+    elif args.kind == "random":
+        graph = random_connected_graph(
+            args.nodes, avg_degree=args.degree, seed=args.seed
+        )
+    else:  # battlefield terrain
+        graph = HexGrid(args.rows, args.cols).to_graph(name="battlefield")
+    write_chaco(graph, args.output)
+    print(
+        f"wrote {args.output}: {graph.name} "
+        f"({graph.num_nodes} vertices, {graph.num_edges} edges)"
+    )
+    return 0
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    graph = read_chaco(args.graph)
+    partitioner = make_partitioner(
+        args.scheme, args.np, args.seed, graph, args.rows, args.cols, args.rref
+    )
+    partition = partitioner.partition(graph, args.np)
+    write_partition(list(partition.assignment), args.output)
+    loads = partition.loads()
+    print(f"wrote {args.output}")
+    print(f"  scheme       {partition.method}")
+    print(f"  processors   {args.np}")
+    print(f"  edge cut     {partition.edge_cut()}")
+    print(f"  comm volume  {partition.communication_volume()}")
+    print(f"  imbalance    {partition.imbalance():.3f} (loads {min(loads)}..{max(loads)})")
+    if args.analyze:
+        from .graphs.analysis import partition_summary
+
+        print()
+        print(partition_summary(graph, partition.assignment, args.np))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    graph = read_chaco(args.graph)
+    if args.partition:
+        assignment = read_partition(args.partition, num_nodes=graph.num_nodes)
+        partition = Partition.from_assignment(
+            graph, assignment, args.np, method="from-file"
+        )
+    else:
+        partitioner = make_partitioner(
+            args.scheme, args.np, args.seed, graph, args.rows, args.cols, args.rref
+        )
+        partition = partitioner.partition(graph, args.np)
+
+    grain = {"fine": FINE_GRAIN, "coarse": COARSE_GRAIN}[args.grain]
+    if args.workload == "average":
+        node_fn = make_average_fn(grain)
+    else:  # the Figure-23 rolling imbalance
+        node_fn = make_imbalanced_average_fn(PAPER_SCHEDULE)
+
+    config = PlatformConfig(
+        iterations=args.iterations,
+        dynamic_load_balancing=args.dynamic,
+        lb_period=args.lb_period,
+        overlap_communication=args.overlap,
+        rebalance_mode=args.rebalance_mode,
+    )
+    balancer = _BALANCERS[args.balancer](args.lb_threshold) if args.dynamic else None
+    platform = ICPlatform(graph, node_fn, config=config, balancer=balancer)
+    result = platform.run(partition, machine=_MACHINES[args.machine])
+
+    print(f"graph         {graph.name} ({graph.num_nodes} nodes)")
+    print(f"partition     {partition.method} (cut {partition.edge_cut()})")
+    print(f"processors    {args.np}")
+    print(f"iterations    {args.iterations}")
+    print(f"machine       {args.machine}")
+    print(f"elapsed       {result.elapsed:.6f} virtual seconds")
+    if args.dynamic:
+        print(f"migrations    {len(result.migrations)}")
+        if result.repartitions:
+            print(f"repartitions  {result.repartitions}")
+    if args.phases:
+        print("phase breakdown (mean per rank):")
+        for name, seconds in result.mean_phases.as_dict().items():
+            print(f"  {name:<24} {seconds * 1e3:9.3f} ms")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import harness
+
+    name = args.experiment
+    if name == "all":
+        from .bench.report import generate_report
+
+        print(generate_report(quick=args.quick))
+    elif name.startswith("table") and "hex" in name:
+        nodes = int(name.split("hex")[1])
+        print(harness.run_hex_table(nodes).render())
+    elif name.startswith("table") and "rand" in name:
+        nodes = int(name.split("rand")[1])
+        print(harness.run_random_table(nodes, seeds=tuple(range(args.seeds))).render())
+    elif name.startswith("table") and "bf" in name:
+        scheme = name.split("bf_")[1]
+        print(harness.run_battlefield_table(scheme).render())
+    elif name == "fig11":
+        tables = [harness.run_hex_table(n, iterations_list=(20,)) for n in (32, 64, 96)]
+        print(harness.run_speedup_figure(tables, title="Hex-grid speedups").render())
+    elif name == "fig20":
+        print(harness.run_battlefield_speedups().render())
+    elif name in ("fig21", "fig22"):
+        graph = (
+            harness.hex_graph(64)
+            if name == "fig21"
+            else random_connected_graph(64, 4.0, seed=0, name="rand64")
+        )
+        print(harness.run_overheads(graph).render())
+    else:
+        raise SystemExit(
+            f"unknown experiment {name!r}; try table2_hex32, table6_rand64, "
+            "table7_bf_metis, fig11, fig20, fig21, fig22"
+        )
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    graph = read_chaco(args.graph)
+    degrees = [graph.degree(v) for v in graph.nodes()]
+    print(f"graph      {graph.name}")
+    print(f"vertices   {graph.num_nodes}")
+    print(f"edges      {graph.num_edges}")
+    print(f"degree     min {min(degrees)}, max {max(degrees)}, "
+          f"mean {sum(degrees) / len(degrees):.2f}")
+    print(f"connected  {graph.is_connected()}")
+    print(f"weighted   nodes={graph.has_node_weights}, edges={graph.has_edge_weights}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="iC2mpi platform CLI (simulated-MPI reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write an application graph (Chaco format)")
+    gen.add_argument("--kind", choices=("hex", "grid", "torus", "random", "battlefield"),
+                     default="hex")
+    gen.add_argument("--rows", type=int, default=8)
+    gen.add_argument("--cols", type=int, default=8)
+    gen.add_argument("--nodes", type=int, default=64, help="random graphs only")
+    gen.add_argument("--degree", type=float, default=4.0, help="random graphs only")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--output", required=True)
+    gen.set_defaults(fn=cmd_generate)
+
+    def add_partitioner_args(p):
+        p.add_argument("--scheme", choices=PARTITIONER_CHOICES, default="metis")
+        p.add_argument("--np", type=int, required=True, help="number of processors")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--rows", type=int, help="grid geometry (band/graycode schemes)")
+        p.add_argument("--cols", type=int)
+        p.add_argument("--rref", type=float, default=0.45, help="PaGrid Rref")
+
+    part = sub.add_parser("partition", help="partition a graph, write the mapping")
+    part.add_argument("--graph", required=True)
+    add_partitioner_args(part)
+    part.add_argument("--output", required=True)
+    part.add_argument("--analyze", action="store_true",
+                      help="print the full partition diagnostics report")
+    part.set_defaults(fn=cmd_partition)
+
+    run = sub.add_parser("run", help="execute a workload on the platform")
+    run.add_argument("--graph", required=True)
+    add_partitioner_args(run)
+    run.add_argument("--partition", help="partition file (skips the partitioner)")
+    run.add_argument("--workload", choices=("average", "imbalance"), default="average")
+    run.add_argument("--grain", choices=("fine", "coarse"), default="fine")
+    run.add_argument("--iterations", type=int, default=20)
+    run.add_argument("--machine", choices=sorted(_MACHINES), default="origin2000")
+    run.add_argument("--dynamic", action="store_true", help="enable dynamic LB")
+    run.add_argument("--balancer", choices=sorted(_BALANCERS), default="centralized")
+    run.add_argument("--lb-period", type=int, default=10)
+    run.add_argument("--lb-threshold", type=float, default=0.25)
+    run.add_argument("--rebalance-mode", choices=("migrate", "repartition"),
+                     default="migrate")
+    run.add_argument("--overlap", action="store_true",
+                     help="use the Figure-8a overlapped pipeline")
+    run.add_argument("--phases", action="store_true", help="print phase breakdown")
+    run.set_defaults(fn=cmd_run)
+
+    bench = sub.add_parser("bench", help="regenerate a paper table/figure ('all' for the full report)")
+    bench.add_argument("experiment")
+    bench.add_argument("--seeds", type=int, default=5, help="random-graph averaging")
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced axes for 'all' (seconds, not minutes)")
+    bench.set_defaults(fn=cmd_bench)
+
+    info = sub.add_parser("info", help="inspect a Chaco graph file")
+    info.add_argument("--graph", required=True)
+    info.set_defaults(fn=cmd_info)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""The iC2mpi platform core: node stores, compute/communicate sweeps,
+dynamic load balancing, task migration, and the platform driver."""
+
+from .bsp import VertexContext, VertexProgram, run_bsp, run_vertex_program
+from .buffers import BUFFER_RECORD_TYPE, CommBuffers
+from .directory import DistributedDirectory
+from .compute import (
+    ComputeContext,
+    NodeFn,
+    NodeView,
+    TAG_SHADOW,
+    sweep_basic,
+    sweep_overlapped,
+)
+from .config import PlatformConfig, PlatformCosts
+from .hashtable import DEFAULT_TABLE_LENGTH, NodeHashTable
+from .loadbalance import (
+    BusyIdlePair,
+    CentralizedHeuristicBalancer,
+    DiffusionBalancer,
+    GreedyPairBalancer,
+    LoadBalancer,
+    build_processor_edges,
+)
+from .migration import (
+    MigrationEvent,
+    TAG_MIGRATE,
+    load_balance_phase,
+    migrate_node,
+    select_migrating_node,
+)
+from .node import INTERNAL, PERIPHERAL, NodeData, OwnNode
+from .nodestore import NodeStore
+from .phases import PHASE_NAMES, PhaseTimes
+from .platform import ICPlatform, PlatformResult, RankOutcome, run_platform
+from .repartition import measured_node_weights, repartition_phase
+from .trace import ExecutionTrace, IterationRecord
+
+__all__ = [
+    "BUFFER_RECORD_TYPE",
+    "BusyIdlePair",
+    "CentralizedHeuristicBalancer",
+    "CommBuffers",
+    "ComputeContext",
+    "DEFAULT_TABLE_LENGTH",
+    "DiffusionBalancer",
+    "DistributedDirectory",
+    "ExecutionTrace",
+    "IterationRecord",
+    "GreedyPairBalancer",
+    "ICPlatform",
+    "INTERNAL",
+    "LoadBalancer",
+    "MigrationEvent",
+    "NodeData",
+    "NodeFn",
+    "NodeHashTable",
+    "NodeStore",
+    "NodeView",
+    "OwnNode",
+    "PERIPHERAL",
+    "PHASE_NAMES",
+    "PhaseTimes",
+    "PlatformConfig",
+    "PlatformCosts",
+    "PlatformResult",
+    "RankOutcome",
+    "TAG_MIGRATE",
+    "TAG_SHADOW",
+    "VertexContext",
+    "VertexProgram",
+    "build_processor_edges",
+    "measured_node_weights",
+    "repartition_phase",
+    "run_bsp",
+    "run_vertex_program",
+    "load_balance_phase",
+    "migrate_node",
+    "run_platform",
+    "select_migrating_node",
+    "sweep_basic",
+    "sweep_overlapped",
+]

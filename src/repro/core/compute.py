@@ -1,0 +1,250 @@
+"""The computation & communication phase (Figures 8 and 8a).
+
+The platform invokes the user's *application node function* through a
+pointer it maintains -- here, a plain callable.  For each owned node it
+forms "a list with the current node's data as the head, followed by the
+data of the neighbors" (:class:`NodeView`), calls the function, and stores
+the returned value in ``most_recent_data``.  Updated peripheral data is
+packed into per-destination communication buffers as the sweep proceeds, so
+"by the time the computation routine returns, the communication buffers are
+all set up".
+
+Two pipelines are provided:
+
+* :func:`sweep_basic` -- Figure 8: internals, then peripherals (packing),
+  commit, then ``Isend`` everything and blocking-receive the shadows.
+* :func:`sweep_overlapped` -- Figure 8a: peripherals first, ``Isend`` +
+  ``Irecv``, internals computed *while the transfers are in flight*, then
+  wait and unpack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..mpi.communicator import Communicator
+from .buffers import CommBuffers
+from .config import PlatformCosts
+from .node import OwnNode
+from .nodestore import NodeStore
+
+__all__ = ["NodeView", "ComputeContext", "NodeFn", "sweep_basic", "sweep_overlapped", "TAG_SHADOW"]
+
+#: Tag for shadow-exchange messages.
+TAG_SHADOW = 1
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """The node+neighbours list handed to the application node function.
+
+    Attributes:
+        global_id: The node being computed.
+        value: Its committed value (head of the list).
+        neighbors: ``(neighbour_gid, committed value)`` pairs, in adjacency
+            order.
+        iteration: 1-based sweep number (the appendix's ``index``), which
+            the dynamic-imbalance workload keys its grain schedule on.
+        round: 0-based communication sub-round within the iteration
+            (non-zero only for multi-round applications like the
+            battlefield simulation).
+    """
+
+    global_id: int
+    value: Any
+    neighbors: tuple[tuple[int, Any], ...]
+    iteration: int
+    round: int = 0
+
+    def neighbor_values(self) -> list[Any]:
+        """Just the neighbour values, in adjacency order."""
+        return [v for _, v in self.neighbors]
+
+
+class ComputeContext:
+    """Per-rank execution context passed to the node function.
+
+    Carries the virtual-clock charging interface (:meth:`work` replaces the
+    thesis's dummy grain loops) and the counters that let the platform split
+    wall time into the *compute* vs *overhead* buckets of section 5.4.
+    """
+
+    def __init__(self, comm: Communicator, costs: PlatformCosts, num_nodes: int) -> None:
+        self.comm = comm
+        self.costs = costs
+        self.num_nodes = num_nodes
+        self.iteration = 0
+        self.round = 0
+        self.compute_time = 0.0
+        self.comm_overhead_time = 0.0
+        self.bookkeeping_time = 0.0
+        #: Per-node compute seconds since the last reset -- measured node
+        #: weights for load-aware repartitioning (window-scoped).
+        self.node_compute: dict[int, float] = {}
+
+    def reset_node_loads(self) -> None:
+        """Start a new load-measurement window."""
+        self.node_compute.clear()
+
+    @property
+    def rank(self) -> int:
+        """This processor's rank."""
+        return self.comm.rank
+
+    @property
+    def nprocs(self) -> int:
+        """Number of processors."""
+        return self.comm.size
+
+    def work(self, seconds: float) -> None:
+        """Charge application compute time (the node's grain)."""
+        self.comm.work(seconds)
+        self.compute_time += seconds
+
+    def _bookkeeping(self, seconds: float) -> None:
+        """Charge platform bookkeeping (lands in computation overhead)."""
+        self.comm.work(seconds)
+        self.bookkeeping_time += seconds
+
+    def _comm_overhead(self, seconds: float) -> None:
+        """Charge pack/unpack bookkeeping (lands in communication overhead)."""
+        self.comm.work(seconds)
+        self.comm_overhead_time += seconds
+
+
+NodeFn = Callable[[NodeView, ComputeContext], Any]
+
+
+def _form_view(store: NodeStore, node: OwnNode, ctx: ComputeContext) -> NodeView:
+    """Build the node+neighbours list, charging list-forming overhead."""
+    costs = ctx.costs
+    neighbors = []
+    for v in node.neighboring_nodes:
+        record = store.hash_table[v]
+        neighbors.append((v, record.data))
+    ctx._bookkeeping(
+        costs.list_item_cost * (1 + len(neighbors))
+        + costs.hash_lookup_cost * len(neighbors)
+        # The appendix's SimulatorFunction linearly scans the global data
+        # node list (which holds *all* graph nodes on every rank) to locate
+        # the current node: an average of n/2 items touched per call.
+        + costs.data_scan_item_cost * ctx.num_nodes / 2
+    )
+    return NodeView(
+        global_id=node.global_id,
+        value=node.data.data,
+        neighbors=tuple(neighbors),
+        iteration=ctx.iteration,
+        round=ctx.round,
+    )
+
+
+def _compute_node(store: NodeStore, node: OwnNode, node_fn: NodeFn, ctx: ComputeContext) -> None:
+    view = _form_view(store, node, ctx)
+    before = ctx.compute_time
+    node.data.most_recent_data = node_fn(view, ctx)
+    spent = ctx.compute_time - before
+    if spent:
+        gid = node.global_id
+        ctx.node_compute[gid] = ctx.node_compute.get(gid, 0.0) + spent
+
+
+def _pack_node(node: OwnNode, buffers: CommBuffers, ctx: ComputeContext) -> None:
+    for proc in node.shadow_for_procs:
+        buffers.pack(proc, node.global_id, node.data.most_recent_data)
+        ctx._comm_overhead(ctx.costs.pack_cost)
+
+
+def _commit(store: NodeStore, ctx: ComputeContext) -> None:
+    count = store.commit_owned()
+    ctx._bookkeeping(ctx.costs.update_cost * count)
+
+
+def _send_all(comm: Communicator, buffers: CommBuffers) -> list[int]:
+    """Isend every nonempty buffer; returns the peer list (symmetric).
+
+    Buffers are snapshotted into tuples: the in-process transport passes
+    payloads by reference, and the next sweep's ``buffers.reset()`` would
+    otherwise mutate a list the receiver has not drained yet.
+    """
+    peers = buffers.nonempty_procs()
+    for q in peers:
+        comm.isend(tuple(buffers.outgoing(q)), q, tag=TAG_SHADOW, nbytes=buffers.nbytes(q))
+    return peers
+
+
+def _unpack(store: NodeStore, records: list[tuple[int, Any]], ctx: ComputeContext) -> None:
+    for gid, value in records:
+        store.update_shadow(gid, value)
+    # Per-record constant plus the appendix's linear scan of the global
+    # data node list while locating each record's home.
+    ctx._comm_overhead(
+        len(records)
+        * (ctx.costs.unpack_cost + ctx.costs.unpack_scan_item_cost * ctx.num_nodes / 2)
+    )
+
+
+def sweep_basic(
+    comm: Communicator,
+    store: NodeStore,
+    node_fn: NodeFn,
+    ctx: ComputeContext,
+    buffers: CommBuffers,
+) -> None:
+    """One Figure-8 compute+communicate sweep.
+
+    ``ComputeOverNodes``: internals, then peripherals with packing, then
+    commit.  ``CommunicateShadows``: Isend all buffers, blocking-receive
+    from each neighbouring processor, unpack into the data node list.
+    """
+    buffers.reset()
+    for node in store.internal.values():
+        _compute_node(store, node, node_fn, ctx)
+    for node in store.peripheral.values():
+        _compute_node(store, node, node_fn, ctx)
+        _pack_node(node, buffers, ctx)
+    _commit(store, ctx)
+
+    peers = _send_all(comm, buffers)
+    # Per-peer receive-buffer allocation + initialization (appendix mallocs
+    # a MAX_SIZE recvbuffer per neighbouring processor every call).
+    ctx._comm_overhead(ctx.costs.recv_setup_cost * len(peers))
+    received = [comm.recv(source=q, tag=TAG_SHADOW) for q in peers]
+    # The appendix's CommunicateShadows synchronizes all ranks between the
+    # receive loop and the buffer unpacking (its MPI_Barrier) -- one of the
+    # per-iteration couplings the overlapped Figure-8a variant removes.
+    comm.barrier()
+    for records in received:
+        _unpack(store, records, ctx)
+
+
+def sweep_overlapped(
+    comm: Communicator,
+    store: NodeStore,
+    node_fn: NodeFn,
+    ctx: ComputeContext,
+    buffers: CommBuffers,
+) -> None:
+    """One Figure-8a sweep: communication overlapped with internal compute.
+
+    Peripheral nodes are processed and dispatched first; receives are
+    posted nonblocking; internal nodes compute while the shadow messages
+    are in flight; finally the receives are waited on and unpacked.
+    """
+    buffers.reset()
+    for node in store.peripheral.values():
+        _compute_node(store, node, node_fn, ctx)
+        _pack_node(node, buffers, ctx)
+
+    peers = _send_all(comm, buffers)
+    ctx._comm_overhead(ctx.costs.recv_setup_cost * len(peers))
+    requests = [(q, comm.irecv(source=q, tag=TAG_SHADOW)) for q in peers]
+
+    for node in store.internal.values():
+        _compute_node(store, node, node_fn, ctx)
+    _commit(store, ctx)
+
+    for _, req in requests:
+        records = req.wait()
+        _unpack(store, records, ctx)

@@ -1,0 +1,143 @@
+"""Distributed data directory (section 7.1's proposed extension).
+
+"Distributed data directory could be built which would help the processor
+locate off-processor data.  Currently, the processor is able to get all the
+required shadow node information, but by the use of distributed
+directories, it might have a possible access to the data of far off
+processors (which are not neighbors of the current processor)."
+
+The directory assigns every global ID a *home* rank by modulo hashing; the
+home tracks the node's current owner, and owners re-register after task
+migrations.  Resolution is **collective**: every rank enters
+:meth:`collective_fetch` with the (possibly empty) set of far-off nodes it
+wants, and two all-to-all rounds return the values --
+
+1. ask each gid's home rank for the current owner,
+2. ask each owner for the committed value.
+
+Collective rounds keep the protocol deadlock-free on the simulated MPI
+without a background service thread; the platform extension calls it
+between iterations, exactly where the thesis envisioned the directory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..mpi.communicator import Communicator
+from .nodestore import NodeStore
+
+__all__ = ["DistributedDirectory"]
+
+
+class DistributedDirectory:
+    """Rendezvous-hashed ownership directory over a communicator.
+
+    Args:
+        comm: The communicator the directory lives on (usually the
+            platform's world).
+        store: This rank's node store; owned nodes are registered at
+            construction.
+    """
+
+    def __init__(self, comm: Communicator, store: NodeStore) -> None:
+        self.comm = comm
+        self.store = store
+        #: gid -> owner, for the gids homed on this rank.
+        self._home_table: dict[int, int] = {}
+        self.register_owned()
+
+    # ------------------------------------------------------------------ #
+    # Home hashing
+    # ------------------------------------------------------------------ #
+
+    def home_of(self, gid: int) -> int:
+        """The rank responsible for tracking ``gid``'s owner."""
+        if gid < 1:
+            raise KeyError(f"global IDs are 1-based, got {gid}")
+        return (gid - 1) % self.comm.size
+
+    def homed_here(self) -> list[int]:
+        """The gids whose ownership this rank tracks (sorted)."""
+        return sorted(self._home_table)
+
+    # ------------------------------------------------------------------ #
+    # Registration (collective)
+    # ------------------------------------------------------------------ #
+
+    def register_owned(self) -> None:
+        """(Re)announce this rank's owned nodes to their home ranks.
+
+        Collective; call at startup and after any task-migration round.
+        Stale entries for nodes this rank no longer owns are overwritten by
+        the new owner's registration in the same round.
+        """
+        batches: list[list[int]] = [[] for _ in range(self.comm.size)]
+        for node in self.store.owned_nodes():
+            batches[self.home_of(node.global_id)].append(node.global_id)
+        incoming = self.comm.alltoall(batches)
+        for owner_rank, gids in enumerate(incoming):
+            for gid in gids:
+                self._home_table[gid] = owner_rank
+
+    # ------------------------------------------------------------------ #
+    # Collective resolution
+    # ------------------------------------------------------------------ #
+
+    def collective_lookup(self, gids: Iterable[int]) -> dict[int, int]:
+        """Resolve current owners for ``gids`` (collective).
+
+        Every rank must call this, each with its own (possibly empty)
+        request set.  Returns ``gid -> owner`` for the requested gids.
+
+        Raises:
+            KeyError: A requested gid is not registered anywhere.
+        """
+        wanted = sorted(set(gids))
+        requests: list[list[int]] = [[] for _ in range(self.comm.size)]
+        for gid in wanted:
+            requests[self.home_of(gid)].append(gid)
+        incoming = self.comm.alltoall(requests)
+        replies = [
+            [(gid, self._home_table.get(gid)) for gid in asked]
+            for asked in incoming
+        ]
+        answered = self.comm.alltoall(replies)
+        out: dict[int, int] = {}
+        for batch in answered:
+            for gid, owner in batch:
+                if owner is None:
+                    raise KeyError(f"node {gid} is not registered in the directory")
+                out[gid] = owner
+        return out
+
+    def collective_fetch(self, gids: Iterable[int]) -> dict[int, Any]:
+        """Fetch committed values of arbitrary (far-off) nodes (collective).
+
+        Locally held data (owned or shadow) is answered without messaging;
+        the rest resolves through the directory and the owners.  Every rank
+        must participate.
+        """
+        wanted = sorted(set(gids))
+        local: dict[int, Any] = {}
+        remote: list[int] = []
+        for gid in wanted:
+            record = self.store.hash_table.get(gid)
+            if record is not None:
+                local[gid] = record.data
+            else:
+                remote.append(gid)
+
+        owners = self.collective_lookup(remote)
+        requests: list[list[int]] = [[] for _ in range(self.comm.size)]
+        for gid in remote:
+            requests[owners[gid]].append(gid)
+        incoming = self.comm.alltoall(requests)
+        replies = [
+            [(gid, self.store.value_of(gid)) for gid in asked] for asked in incoming
+        ]
+        answered = self.comm.alltoall(replies)
+        for batch in answered:
+            for gid, value in batch:
+                local[gid] = value
+        return local

@@ -1,0 +1,202 @@
+"""Dynamic load balancing: the centralized heuristic (section 4.3).
+
+The balancer runs on a *weighted processor network graph* assembled at run
+time: node weights are the execution times of the processors over the last
+window of iterations, and edge weights are the communication buffer lengths
+between processor pairs.  A designated processor (rank 0) scans the graph:
+
+* a processor doing **>= 25 % more work than all of its neighbours** is
+  *busy*;
+* the least-loaded of its neighbours is its *idle* partner;
+* all such busy-idle pairs are handed to the task-migration routine.
+
+Any object implementing :class:`LoadBalancer` can be plugged in instead
+(Goal 3); :class:`GreedyPairBalancer` is one such alternative, used in the
+ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+__all__ = [
+    "BusyIdlePair",
+    "LoadBalancer",
+    "CentralizedHeuristicBalancer",
+    "GreedyPairBalancer",
+    "DiffusionBalancer",
+    "build_processor_edges",
+]
+
+
+@dataclass(frozen=True)
+class BusyIdlePair:
+    """One migration directive: move work ``busy`` -> ``idle``."""
+
+    busy: int
+    idle: int
+
+
+@runtime_checkable
+class LoadBalancer(Protocol):
+    """Plug-in interface for dynamic load balancers."""
+
+    def find_pairs(
+        self, exec_times: Sequence[float], edges: Sequence[Sequence[int]]
+    ) -> list[BusyIdlePair]:
+        """Derive busy-idle pairs from the run-time processor graph.
+
+        Args:
+            exec_times: Per-processor execution time over the last window.
+            edges: ``edges[i][j]`` > 0 iff processors i and j exchange
+                shadows; the value is the summed buffer length (i -> j plus
+                j -> i).
+        """
+        ...
+
+
+def build_processor_edges(buffer_sizes: Sequence[Sequence[int]]) -> list[list[int]]:
+    """Symmetrize gathered per-rank buffer sizes into the edge matrix.
+
+    ``buffer_sizes[i][j]`` is how many shadow records rank i sends to rank
+    j each sweep; the processor-graph edge weight is the two-way sum.
+    """
+    nprocs = len(buffer_sizes)
+    edges = [[0] * nprocs for _ in range(nprocs)]
+    for i in range(nprocs):
+        if len(buffer_sizes[i]) != nprocs:
+            raise ValueError(
+                f"rank {i} reported {len(buffer_sizes[i])} buffer sizes for {nprocs} procs"
+            )
+        for j in range(nprocs):
+            if i != j:
+                edges[i][j] = buffer_sizes[i][j] + buffer_sizes[j][i]
+    return edges
+
+
+class CentralizedHeuristicBalancer:
+    """The thesis's centralized heuristic.
+
+    Args:
+        threshold: Relative-work threshold; 0.25 reproduces the paper's
+            "25 % more work than all its neighbors".
+    """
+
+    def __init__(self, threshold: float = 0.25) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = threshold
+
+    def relative_load(
+        self, exec_times: Sequence[float], edges: Sequence[Sequence[int]]
+    ) -> list[list[float]]:
+        """``relative[i][j] = (t_i - t_j) / t_j`` for linked pairs with
+        ``t_i > t_j`` (zero elsewhere), the quantity the heuristic compares
+        against the threshold."""
+        nprocs = len(exec_times)
+        rel = [[0.0] * nprocs for _ in range(nprocs)]
+        for i in range(nprocs):
+            for j in range(nprocs):
+                if i == j or edges[i][j] <= 0:
+                    continue
+                if exec_times[i] > exec_times[j] > 0:
+                    rel[i][j] = (exec_times[i] - exec_times[j]) / exec_times[j]
+        return rel
+
+    def find_pairs(
+        self, exec_times: Sequence[float], edges: Sequence[Sequence[int]]
+    ) -> list[BusyIdlePair]:
+        nprocs = len(exec_times)
+        rel = self.relative_load(exec_times, edges)
+        pairs: list[BusyIdlePair] = []
+        for i in range(nprocs):
+            neighbors = [j for j in range(nprocs) if j != i and edges[i][j] > 0]
+            if not neighbors:
+                continue
+            if all(rel[i][j] >= self.threshold for j in neighbors):
+                idle = max(neighbors, key=lambda j: (rel[i][j], -j))
+                pairs.append(BusyIdlePair(busy=i, idle=idle))
+        return pairs
+
+
+class GreedyPairBalancer:
+    """Alternative plug-in: pair the globally heaviest processor with its
+    lightest neighbour whenever the gap exceeds the threshold.
+
+    Fires more readily than the centralized heuristic (a processor need not
+    out-work *all* neighbours), trading migration churn for responsiveness;
+    the ablation bench compares the two.
+    """
+
+    def __init__(self, threshold: float = 0.25, max_pairs: int | None = None) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = threshold
+        self.max_pairs = max_pairs
+
+    def find_pairs(
+        self, exec_times: Sequence[float], edges: Sequence[Sequence[int]]
+    ) -> list[BusyIdlePair]:
+        nprocs = len(exec_times)
+        used: set[int] = set()
+        pairs: list[BusyIdlePair] = []
+        order = sorted(range(nprocs), key=lambda i: (-exec_times[i], i))
+        for i in order:
+            if i in used:
+                continue
+            neighbors = [
+                j for j in range(nprocs) if j != i and edges[i][j] > 0 and j not in used
+            ]
+            candidates = [
+                j
+                for j in neighbors
+                if exec_times[j] > 0
+                and (exec_times[i] - exec_times[j]) / exec_times[j] >= self.threshold
+            ]
+            if not candidates:
+                continue
+            idle = min(candidates, key=lambda j: (exec_times[j], j))
+            pairs.append(BusyIdlePair(busy=i, idle=idle))
+            used.update((i, idle))
+            if self.max_pairs is not None and len(pairs) >= self.max_pairs:
+                break
+        return pairs
+
+
+class DiffusionBalancer:
+    """Diffusion-style balancer: every above-average processor sheds load to
+    each lighter neighbour.
+
+    The classic decentralized alternative to the thesis's centralized
+    heuristic (Cybenko-style first-order diffusion, restricted here to one
+    busy-idle pair per directed gradient).  A processor need not out-work
+    *all* its neighbours -- any downhill edge steep enough produces a pair,
+    so load spreads along every gradient simultaneously and the scheme
+    keeps working on plateaued regions where the centralized trigger is
+    structurally silent.
+
+    Args:
+        threshold: Minimum relative gap ``(t_i - t_j) / t_j`` for an edge to
+            carry a migration.
+    """
+
+    def __init__(self, threshold: float = 0.25) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = threshold
+
+    def find_pairs(
+        self, exec_times: Sequence[float], edges: Sequence[Sequence[int]]
+    ) -> list[BusyIdlePair]:
+        nprocs = len(exec_times)
+        pairs: list[BusyIdlePair] = []
+        for i in range(nprocs):
+            for j in range(nprocs):
+                if i == j or edges[i][j] <= 0:
+                    continue
+                if exec_times[j] <= 0:
+                    continue
+                if (exec_times[i] - exec_times[j]) / exec_times[j] >= self.threshold:
+                    pairs.append(BusyIdlePair(busy=i, idle=j))
+        return pairs

@@ -1,0 +1,301 @@
+"""Per-processor node store: the initialization phase's data structures.
+
+Each rank keeps (section 4.1):
+
+* the **internal node list** -- owned nodes with every neighbour local,
+* the **peripheral node list** -- owned nodes with >= 1 remote neighbour,
+* the **data node list** -- :class:`NodeData` records for owned nodes *and*
+  shadow nodes (remote neighbours of peripherals), and
+* the **hash table** -- modulo-hash index into the data node list.
+
+The store also implements the data-structure surgery of task migration
+(section 4.3): demoting a migrated node to a shadow on the busy side,
+adopting it on the idle side, promoting/demoting internal and peripheral
+nodes, and rebuilding ``shadow_for_procs`` after ownership changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+from ..graphs.graph import Graph
+from .hashtable import NodeHashTable
+from .node import INTERNAL, PERIPHERAL, NodeData, OwnNode
+
+__all__ = ["NodeStore"]
+
+InitValueFn = Callable[[int], Any]
+
+
+class NodeStore:
+    """All node bookkeeping for one rank.
+
+    Args:
+        rank: This processor's id.
+        graph: The application program graph (shared, read-only).
+        assignment: The node-to-processor map (the thesis's ``output_arr``);
+            this list is *owned by the caller* and mutated during task
+            migration -- the store reads it on demand.
+        init_value: ``gid -> initial node value`` (the thesis initializes
+            ``data = globalID``; applications plug in their own).
+        hash_table_length: Buckets in the node hash table.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        graph: Graph,
+        assignment: list[int],
+        init_value: InitValueFn,
+        hash_table_length: int = 64,
+    ) -> None:
+        self.rank = rank
+        self.graph = graph
+        self.assignment = assignment
+        self.internal: dict[int, OwnNode] = {}
+        self.peripheral: dict[int, OwnNode] = {}
+        self.data_records: dict[int, NodeData] = {}
+        self.hash_table = NodeHashTable(hash_table_length)
+        self._build(init_value)
+
+    # ------------------------------------------------------------------ #
+    # Initialization phase
+    # ------------------------------------------------------------------ #
+
+    def _shadow_procs_of(self, gid: int) -> tuple[int, ...]:
+        """Distinct remote processors owning neighbours of ``gid``."""
+        own = self.assignment[gid - 1]
+        procs = {
+            self.assignment[v - 1]
+            for v in self.graph.neighbors(gid)
+            if self.assignment[v - 1] != own
+        }
+        return tuple(sorted(procs))
+
+    def _make_own_node(self, gid: int) -> OwnNode:
+        shadows = self._shadow_procs_of(gid)
+        kind = PERIPHERAL if shadows else INTERNAL
+        return OwnNode(
+            global_id=gid,
+            kind=kind,
+            owning_proc=self.rank,
+            data=self.data_records[gid],
+            neighboring_nodes=self.graph.neighbors(gid),
+            shadow_for_procs=shadows,
+        )
+
+    def _build(self, init_value: InitValueFn) -> None:
+        owned = [gid for gid in self.graph.nodes() if self.assignment[gid - 1] == self.rank]
+        # Data records for owned nodes first (the global data list pass).
+        for gid in owned:
+            record = NodeData(gid, init_value(gid))
+            self.data_records[gid] = record
+            self.hash_table.insert(record)
+        # Internal / peripheral classification.
+        for gid in owned:
+            node = self._make_own_node(gid)
+            (self.peripheral if node.is_peripheral else self.internal)[gid] = node
+        # Shadow records: remote neighbours of peripheral nodes.
+        for node in self.peripheral.values():
+            for v in node.neighboring_nodes:
+                if self.assignment[v - 1] != self.rank and v not in self.data_records:
+                    record = NodeData(v, init_value(v))
+                    self.data_records[v] = record
+                    self.hash_table.insert(record)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    def owned_nodes(self) -> Iterator[OwnNode]:
+        """Internal nodes first, then peripheral (the Figure-8 sweep order)."""
+        yield from self.internal.values()
+        yield from self.peripheral.values()
+
+    def num_owned(self) -> int:
+        """Count of nodes this rank computes."""
+        return len(self.internal) + len(self.peripheral)
+
+    def own_node(self, gid: int) -> OwnNode:
+        """The OwnNode record for an owned gid."""
+        node = self.internal.get(gid) or self.peripheral.get(gid)
+        if node is None:
+            raise KeyError(f"rank {self.rank} does not own node {gid}")
+        return node
+
+    def owns(self, gid: int) -> bool:
+        """Whether this rank owns ``gid``."""
+        return gid in self.internal or gid in self.peripheral
+
+    def shadow_gids(self) -> list[int]:
+        """Global IDs present as shadows (data held, not owned)."""
+        return sorted(gid for gid in self.data_records if not self.owns(gid))
+
+    def value_of(self, gid: int) -> Any:
+        """Committed value of any locally known node (via the hash table)."""
+        record = self.hash_table.get(gid)
+        if record is None:
+            raise KeyError(f"rank {self.rank} holds no data for node {gid}")
+        return record.data
+
+    def buffer_sizes(self, nprocs: int) -> list[int]:
+        """Shadow records owed to each processor.
+
+        ``sizes[q]`` = number of this rank's peripheral nodes that are
+        shadows for processor ``q`` -- exactly the thesis's
+        ``buffer_size_for_communication`` array.
+        """
+        sizes = [0] * nprocs
+        for node in self.peripheral.values():
+            for proc in node.shadow_for_procs:
+                sizes[proc] += 1
+        return sizes
+
+    def neighbor_procs(self) -> list[int]:
+        """Processors this rank exchanges shadows with."""
+        procs: set[int] = set()
+        for node in self.peripheral.values():
+            procs.update(node.shadow_for_procs)
+        return sorted(procs)
+
+    # ------------------------------------------------------------------ #
+    # Commit (end of a compute sweep)
+    # ------------------------------------------------------------------ #
+
+    def commit_owned(self) -> int:
+        """Promote ``most_recent_data`` for every owned node; returns count."""
+        count = 0
+        for node in self.owned_nodes():
+            node.data.commit()
+            count += 1
+        return count
+
+    def update_shadow(self, gid: int, value: Any) -> None:
+        """Install a received shadow value (post-communication update)."""
+        record = self.hash_table.get(gid)
+        if record is None:
+            raise KeyError(f"rank {self.rank} received shadow for unknown node {gid}")
+        record.data = value
+
+    # ------------------------------------------------------------------ #
+    # Task-migration surgery (section 4.3)
+    # ------------------------------------------------------------------ #
+
+    def release_node(self, gid: int) -> OwnNode:
+        """Busy side: stop owning ``gid``; its data record *stays* (the node
+        becomes a shadow here).  Returns the removed OwnNode."""
+        node = self.peripheral.pop(gid, None)
+        if node is None:
+            node = self.internal.pop(gid, None)
+        if node is None:
+            raise KeyError(f"rank {self.rank} cannot release unowned node {gid}")
+        return node
+
+    def adopt_node(self, gid: int, neighbor_values: Sequence[tuple[int, Any]]) -> OwnNode:
+        """Idle side: take ownership of ``gid``.
+
+        ``neighbor_values`` carries the data of the migrating node's
+        neighbours shipped by the busy processor; records are created or
+        refreshed so the next compute sweep finds everything locally.
+        The caller must already have updated ``assignment``.
+        """
+        if self.owns(gid):
+            raise KeyError(f"rank {self.rank} already owns node {gid}")
+        for ngid, value in neighbor_values:
+            record = self.data_records.get(ngid)
+            if record is None:
+                record = NodeData(ngid, value)
+                self.data_records[ngid] = record
+                self.hash_table.insert(record)
+            else:
+                record.data = value
+        if gid not in self.data_records:
+            raise KeyError(
+                f"rank {self.rank} adopting node {gid} without its data record"
+            )
+        node = self._make_own_node(gid)
+        (self.peripheral if node.is_peripheral else self.internal)[gid] = node
+        return node
+
+    def ensure_record(self, gid: int, value: Any) -> NodeData:
+        """Create (or return) the data record for ``gid``."""
+        record = self.data_records.get(gid)
+        if record is None:
+            record = NodeData(gid, value)
+            self.data_records[gid] = record
+            self.hash_table.insert(record)
+        return record
+
+    def refresh_ownership(self) -> None:
+        """Re-derive node kinds and shadow lists from the current assignment.
+
+        Called on *every* rank after a migration: on the busy processor
+        internal nodes neighbouring the migrated one become peripheral; on
+        the idle processor peripheral nodes may turn internal; every other
+        shadow-holding processor updates ``shadow_for_procs`` (the thesis
+        rebuilds these arrays in ``task_migrate``).
+        """
+        owned = list(self.owned_nodes())
+        self.internal.clear()
+        self.peripheral.clear()
+        for old in owned:
+            node = self._make_own_node(old.global_id)
+            (self.peripheral if node.is_peripheral else self.internal)[
+                node.global_id
+            ] = node
+
+    def prune_stale_shadows(self) -> list[int]:
+        """Drop shadow records no longer adjacent to any owned node.
+
+        The thesis never prunes (the migrated node's data must stay; other
+        stale entries are simply never read again).  Pruning is an optional
+        hygiene extension used by long-running dynamic workloads; returns
+        the dropped gids.
+        """
+        needed: set[int] = set()
+        for node in self.owned_nodes():
+            needed.add(node.global_id)
+            needed.update(node.neighboring_nodes)
+        stale = [gid for gid in self.data_records if gid not in needed]
+        for gid in stale:
+            del self.data_records[gid]
+            self.hash_table.remove(gid)
+        return stale
+
+    # ------------------------------------------------------------------ #
+    # Invariants (test hook)
+    # ------------------------------------------------------------------ #
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError on any broken store invariant."""
+        for gid, node in self.internal.items():
+            assert node.kind == INTERNAL, f"node {gid} in internal list with kind {node.kind}"
+            assert not node.shadow_for_procs
+            assert self.assignment[gid - 1] == self.rank, f"internal {gid} not owned"
+            for v in node.neighboring_nodes:
+                assert self.assignment[v - 1] == self.rank, (
+                    f"internal node {gid} has remote neighbour {v}"
+                )
+        for gid, node in self.peripheral.items():
+            assert node.kind == PERIPHERAL
+            assert self.assignment[gid - 1] == self.rank, f"peripheral {gid} not owned"
+            expected = self._shadow_procs_of(gid)
+            assert node.shadow_for_procs == expected, (
+                f"node {gid}: shadow_for_procs {node.shadow_for_procs} != {expected}"
+            )
+            assert expected, f"peripheral node {gid} has no remote neighbours"
+        assert not (set(self.internal) & set(self.peripheral)), "node in both lists"
+        # Every owned node and every neighbour of a peripheral node has data.
+        for node in self.owned_nodes():
+            assert node.global_id in self.data_records
+            for v in node.neighboring_nodes:
+                assert v in self.data_records, (
+                    f"rank {self.rank}: no data for neighbour {v} of {node.global_id}"
+                )
+        # Hash table mirrors the data node list exactly (same objects).
+        assert len(self.hash_table) == len(self.data_records)
+        for gid, record in self.data_records.items():
+            assert self.hash_table.get(gid) is record, f"hash table desync at {gid}"
+        # OwnNode.data aliases the data record.
+        for node in self.owned_nodes():
+            assert node.data is self.data_records[node.global_id]

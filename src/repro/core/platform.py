@@ -1,0 +1,314 @@
+"""The iC2mpi platform driver.
+
+:class:`ICPlatform` wires the three phases together exactly as Figure 6's
+flow of control prescribes:
+
+1. **Initialization** -- a static partitioner (plug-in) provides the
+   node-to-processor mapping; every rank builds its node lists, data node
+   list and hash table (:class:`~repro.core.nodestore.NodeStore`).
+2. **Computation & communication** -- ``iterations`` sweeps of
+   compute-over-nodes plus the shadow exchange (basic Figure-8 or
+   overlapped Figure-8a pipeline; the battlefield app runs the sequence
+   ``comm_rounds`` times per step).
+3. **Load balancing & task migration** -- when dynamic load balancing is
+   enabled, every ``lb_period`` iterations rank 0 assembles the run-time
+   processor graph, the balancer plug-in nominates busy-idle pairs, and
+   tasks migrate.
+
+The whole thing executes on the virtual-time simulated cluster, so
+``result.elapsed`` is directly comparable (in *shape*) with the wall-clock
+seconds of the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ..graphs.graph import Graph
+from ..mpi.communicator import Communicator
+from ..mpi.runtime import SimCluster
+from ..mpi.timing import ORIGIN2000, MachineModel
+from ..partitioning.base import Partition
+from .buffers import CommBuffers
+from .compute import ComputeContext, NodeFn, sweep_basic, sweep_overlapped
+from .config import PlatformConfig
+from .loadbalance import CentralizedHeuristicBalancer, LoadBalancer
+from .migration import MigrationEvent, load_balance_phase
+from .nodestore import NodeStore
+from .phases import PhaseTimes
+from .repartition import repartition_phase
+from .trace import ExecutionTrace, IterationRecord
+
+__all__ = ["ICPlatform", "PlatformResult", "RankOutcome", "run_platform"]
+
+InitValueFn = Callable[[int], Any]
+
+
+@dataclass
+class RankOutcome:
+    """What one rank reports back after the run."""
+
+    rank: int
+    elapsed: float
+    phases: PhaseTimes
+    values: dict[int, Any]
+    owned: list[int]
+    migrations: list[MigrationEvent]
+    repartitions: int = 0
+    trace_records: list[IterationRecord] = field(default_factory=list)
+
+
+@dataclass
+class PlatformResult:
+    """Aggregated outcome of a platform run.
+
+    Attributes:
+        elapsed: Virtual makespan (all ranks synchronize on a final
+            barrier, so every rank reports the same figure) -- the number
+            the paper's tables print.
+        nprocs: Processors used.
+        iterations: Sweeps executed.
+        phases: Per-rank phase breakdowns (Figures 21/22 plot their mean
+            over ranks 2..16).
+        values: Final committed value of every node, merged across ranks.
+        final_assignment: Node-to-processor map after any migrations.
+        migrations: Every executed migration, in order.
+        repartitions: Full from-scratch repartitions executed (repartition
+            rebalance mode only).
+    """
+
+    elapsed: float
+    nprocs: int
+    iterations: int
+    phases: list[PhaseTimes]
+    values: dict[int, Any]
+    final_assignment: tuple[int, ...]
+    migrations: list[MigrationEvent]
+    repartitions: int = 0
+    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+
+    @property
+    def mean_phases(self) -> PhaseTimes:
+        """Average phase breakdown across ranks."""
+        return PhaseTimes.mean(self.phases)
+
+
+class ICPlatform:
+    """The platform: plug in a graph, a node function, and go.
+
+    Args:
+        graph: The application program graph.
+        node_fn: The application node function (or a sequence of them, one
+            per communication round -- the battlefield customization).
+        init_value: ``gid -> initial value`` (default: the gid itself, as
+            the appendix initializes ``data = globalID``).
+        config: Run-time switches (:class:`PlatformConfig`).
+        balancer: Dynamic load balancer plug-in; defaults to the thesis's
+            centralized heuristic at the configured threshold.
+        repartitioner: Static partitioner used by the ``"repartition"``
+            rebalance mode; defaults to the Metis-like multilevel plug-in.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        node_fn: NodeFn | Sequence[NodeFn],
+        init_value: InitValueFn | None = None,
+        config: PlatformConfig | None = None,
+        balancer: LoadBalancer | None = None,
+        repartitioner: Any = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config or PlatformConfig()
+        if callable(node_fn):
+            self.node_fns: tuple[NodeFn, ...] = (node_fn,) * self.config.comm_rounds
+        else:
+            fns = tuple(node_fn)
+            if len(fns) != self.config.comm_rounds:
+                raise ValueError(
+                    f"{len(fns)} node functions for comm_rounds={self.config.comm_rounds}"
+                )
+            self.node_fns = fns
+        self.init_value: InitValueFn = init_value or (lambda gid: gid)
+        self.balancer = balancer or CentralizedHeuristicBalancer(self.config.lb_threshold)
+        if repartitioner is None and self.config.rebalance_mode == "repartition":
+            from ..partitioning.multilevel.kway import MetisLikePartitioner
+
+            repartitioner = MetisLikePartitioner(seed=0, trials=1)
+        self.repartitioner = repartitioner
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        partition: Partition,
+        machine: MachineModel = ORIGIN2000,
+        deadlock_timeout: float = 30.0,
+    ) -> PlatformResult:
+        """Execute the configured number of iterations on the partition."""
+        if partition.graph is not self.graph and partition.graph != self.graph:
+            raise ValueError("partition was computed for a different graph")
+        nprocs = partition.nparts
+        cluster = SimCluster(nprocs, machine=machine, deadlock_timeout=deadlock_timeout)
+        outcomes: list[RankOutcome] = cluster.run(self._rank_main, partition)
+
+        values: dict[int, Any] = {}
+        for outcome in outcomes:
+            values.update(outcome.values)
+        final_assignment = [0] * self.graph.num_nodes
+        for outcome in outcomes:
+            for gid in outcome.owned:
+                final_assignment[gid - 1] = outcome.rank
+        return PlatformResult(
+            elapsed=max(o.elapsed for o in outcomes),
+            nprocs=nprocs,
+            iterations=self.config.iterations,
+            phases=[o.phases for o in outcomes],
+            values=values,
+            final_assignment=tuple(final_assignment),
+            migrations=list(outcomes[0].migrations),
+            repartitions=outcomes[0].repartitions,
+            trace=ExecutionTrace(
+                record for outcome in outcomes for record in outcome.trace_records
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _rank_main(self, comm: Communicator, partition: Partition) -> RankOutcome:
+        config = self.config
+        phases = PhaseTimes()
+        sweep = sweep_overlapped if config.overlap_communication else sweep_basic
+
+        # ---- Initialization phase -------------------------------------
+        t0 = comm.Wtime()
+        assignment = list(partition.assignment)  # this rank's output_arr copy
+        ctx = ComputeContext(comm, config.costs, self.graph.num_nodes)
+        store = NodeStore(
+            comm.rank,
+            self.graph,
+            assignment,
+            self.init_value,
+            hash_table_length=config.hash_table_length,
+        )
+        num_shadows = len(store.shadow_gids())
+        comm.work(
+            config.costs.init_node_cost * store.num_owned()
+            + config.costs.init_shadow_cost * num_shadows
+        )
+        comm.barrier()
+        phases.initialization = comm.Wtime() - t0
+
+        # ---- Iterate ---------------------------------------------------
+        buffers = CommBuffers(comm.size)
+        migrations: list[MigrationEvent] = []
+        repartitions = 0
+        window_exec_time = 0.0
+
+        trace_records: list[IterationRecord] = []
+
+        for iteration in range(1, config.iterations + 1):
+            ctx.iteration = iteration
+            iter_clock_start = comm.Wtime()
+            iter_compute0 = ctx.compute_time
+            iter_comm_oh0 = ctx.comm_overhead_time
+            migrations_before = len(migrations)
+            for round_idx, node_fn in enumerate(self.node_fns):
+                ctx.round = round_idx
+                t_sweep = comm.Wtime()
+                compute0 = ctx.compute_time
+                overhead0 = ctx.comm_overhead_time
+                book0 = ctx.bookkeeping_time
+                sweep(comm, store, node_fn, ctx, buffers)
+                t_end = comm.Wtime()
+                d_compute = ctx.compute_time - compute0
+                d_comm_oh = ctx.comm_overhead_time - overhead0
+                d_book = ctx.bookkeeping_time - book0
+                phases.compute += d_compute
+                phases.communication_overhead += d_comm_oh
+                phases.computation_overhead += d_book
+                # Whatever wall time the counters do not explain is message
+                # injection/drain cost and waiting on peers: "communicate".
+                remainder = (t_end - t_sweep) - d_compute - d_comm_oh - d_book
+                phases.communicate += max(0.0, remainder)
+                # The thesis times *ComputeOverNodes only* as the processor
+                # weight for the load balancer -- waiting inside the
+                # communication step must not equalize the measurements.
+                window_exec_time += d_compute + d_book
+
+            if config.validate_each_iteration:
+                store.check_invariants()
+
+            if config.dynamic_load_balancing and iteration % config.lb_period == 0:
+                t_lb = comm.Wtime()
+                if config.rebalance_mode == "repartition":
+                    store, changed = repartition_phase(
+                        comm, store, self.repartitioner, ctx
+                    )
+                    repartitions += int(changed)
+                else:
+                    events = load_balance_phase(
+                        comm,
+                        store,
+                        self.balancer,
+                        window_exec_time,
+                        ctx,
+                        iteration,
+                        max_migrations_per_pair=config.max_migrations_per_pair,
+                    )
+                    migrations.extend(events)
+                window_exec_time = 0.0  # the thesis resets the window
+                ctx.reset_node_loads()
+                comm.barrier()
+                phases.load_balancing += comm.Wtime() - t_lb
+                if config.validate_each_iteration:
+                    store.check_invariants()
+
+            if config.track_trace:
+                own_moves = sum(
+                    1
+                    for event in migrations[migrations_before:]
+                    if comm.rank in (event.from_proc, event.to_proc)
+                )
+                trace_records.append(
+                    IterationRecord(
+                        rank=comm.rank,
+                        iteration=iteration,
+                        start=iter_clock_start,
+                        end=comm.Wtime(),
+                        compute=ctx.compute_time - iter_compute0,
+                        comm_overhead=ctx.comm_overhead_time - iter_comm_oh0,
+                        migrations=own_moves,
+                    )
+                )
+
+        comm.barrier()
+        elapsed = comm.Wtime()
+        return RankOutcome(
+            rank=comm.rank,
+            elapsed=elapsed,
+            phases=phases,
+            values={
+                node.global_id: node.data.data for node in store.owned_nodes()
+            },
+            owned=[node.global_id for node in store.owned_nodes()],
+            migrations=migrations,
+            repartitions=repartitions,
+            trace_records=trace_records,
+        )
+
+def run_platform(
+    graph: Graph,
+    node_fn: NodeFn | Sequence[NodeFn],
+    partition: Partition,
+    config: PlatformConfig | None = None,
+    machine: MachineModel = ORIGIN2000,
+    init_value: InitValueFn | None = None,
+    balancer: LoadBalancer | None = None,
+) -> PlatformResult:
+    """One-shot convenience wrapper around :class:`ICPlatform`."""
+    platform = ICPlatform(
+        graph, node_fn, init_value=init_value, config=config, balancer=balancer
+    )
+    return platform.run(partition, machine=machine)

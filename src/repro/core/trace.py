@@ -1,0 +1,147 @@
+"""Per-iteration execution traces.
+
+Goal 4 of the thesis is "carrying out of refinements and performance tuning
+for efficient computation and communication on the platform itself" -- which
+needs visibility beyond end-to-end totals.  When
+``PlatformConfig(track_trace=True)`` is set, every rank records one
+:class:`IterationRecord` per iteration: the virtual-clock window and the
+compute / communication-overhead split inside it.
+
+:class:`ExecutionTrace` aggregates the records: per-iteration makespans,
+per-rank utilization, an imbalance time-series (watch the dynamic load
+balancer actually flatten it), and a text timeline rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["IterationRecord", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One rank's accounting for one iteration.
+
+    Attributes:
+        rank: The processor.
+        iteration: 1-based iteration number.
+        start: Virtual clock when the iteration's first sweep began.
+        end: Virtual clock when its last sweep ended.
+        compute: Application grain seconds charged during the iteration.
+        comm_overhead: Pack/unpack bookkeeping seconds.
+        migrations: Tasks this rank sent or received in the trailing
+            load-balance phase (0 outside LB iterations).
+    """
+
+    rank: int
+    iteration: int
+    start: float
+    end: float
+    compute: float
+    comm_overhead: float
+    migrations: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Wall (virtual) time the iteration occupied on this rank."""
+        return self.end - self.start
+
+
+class ExecutionTrace:
+    """All ranks' iteration records for one platform run."""
+
+    def __init__(self, records: Iterable[IterationRecord] = ()) -> None:
+        self._records: list[IterationRecord] = list(records)
+
+    def add(self, record: IterationRecord) -> None:
+        """Append one record."""
+        self._records.append(record)
+
+    def extend(self, records: Iterable[IterationRecord]) -> None:
+        """Append many records."""
+        self._records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> tuple[IterationRecord, ...]:
+        return tuple(self._records)
+
+    # ------------------------------------------------------------------ #
+    # Aggregations
+    # ------------------------------------------------------------------ #
+
+    def iterations(self) -> list[int]:
+        """Sorted iteration numbers present in the trace."""
+        return sorted({r.iteration for r in self._records})
+
+    def ranks(self) -> list[int]:
+        """Sorted ranks present in the trace."""
+        return sorted({r.rank for r in self._records})
+
+    def of_iteration(self, iteration: int) -> list[IterationRecord]:
+        """All ranks' records for one iteration (rank order)."""
+        return sorted(
+            (r for r in self._records if r.iteration == iteration),
+            key=lambda r: r.rank,
+        )
+
+    def makespan(self, iteration: int) -> float:
+        """Latest end minus earliest start across ranks for one iteration."""
+        records = self.of_iteration(iteration)
+        if not records:
+            raise KeyError(f"no records for iteration {iteration}")
+        return max(r.end for r in records) - min(r.start for r in records)
+
+    def compute_imbalance(self, iteration: int) -> float:
+        """``max(compute) / mean(compute)`` across ranks (1.0 = balanced).
+
+        Iterations where nothing computed report 1.0.
+        """
+        records = self.of_iteration(iteration)
+        values = [r.compute for r in records]
+        total = sum(values)
+        if total == 0:
+            return 1.0
+        return max(values) / (total / len(values))
+
+    def imbalance_series(self) -> list[tuple[int, float]]:
+        """Per-iteration compute imbalance -- the curve the dynamic load
+        balancer is supposed to pull toward 1.0."""
+        return [(it, self.compute_imbalance(it)) for it in self.iterations()]
+
+    def utilization(self, rank: int) -> float:
+        """Fraction of the rank's traced window spent in application compute."""
+        records = [r for r in self._records if r.rank == rank]
+        if not records:
+            raise KeyError(f"no records for rank {rank}")
+        window = sum(r.duration for r in records)
+        if window == 0:
+            return 0.0
+        return sum(r.compute for r in records) / window
+
+    def total_migrations(self) -> int:
+        """Tasks moved across the whole run (counted on the sending side)."""
+        return sum(r.migrations for r in self._records)
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+
+    def render(self, max_iterations: int = 40, bar_width: int = 30) -> str:
+        """Text timeline: one line per iteration with an imbalance bar."""
+        lines = ["iter   makespan    imbalance"]
+        for it in self.iterations()[:max_iterations]:
+            imbalance = self.compute_imbalance(it)
+            span = self.makespan(it)
+            # Bar shows the overload fraction above perfect balance.
+            filled = min(bar_width, round((imbalance - 1.0) * bar_width))
+            bar = "#" * filled + "." * (bar_width - filled)
+            lines.append(f"{it:4d}  {span * 1e3:8.3f}ms   {imbalance:6.3f} |{bar}|")
+        remaining = len(self.iterations()) - max_iterations
+        if remaining > 0:
+            lines.append(f"... {remaining} more iterations")
+        return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Partition-analysis utilities for the test-bed use case.
+
+Goal 3 makes the platform a laboratory for partitioning research; beyond
+the headline metrics (edge cut, balance) researchers look at the *shape* of
+the subdomains: are parts connected?  how ragged are their surfaces?  which
+pairs of processors actually talk, and how unevenly?  These functions
+compute those diagnostics for any assignment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from .graph import Graph
+from .metrics import part_loads
+
+__all__ = [
+    "part_connectivity",
+    "surface_to_volume",
+    "interface_matrix",
+    "interface_stats",
+    "partition_summary",
+]
+
+
+def part_connectivity(
+    graph: Graph, assignment: Sequence[int], nparts: int
+) -> list[int]:
+    """Connected components *within* each part (1 = the part is connected).
+
+    Empty parts report 0.  Fragmented parts are a partitioner smell: they
+    pay boundary cost without locality benefit.
+    """
+    components = [0] * nparts
+    seen = [False] * (graph.num_nodes + 1)
+    for start in graph.nodes():
+        if seen[start]:
+            continue
+        part = assignment[start - 1]
+        components[part] += 1
+        seen[start] = True
+        queue: deque[int] = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if not seen[v] and assignment[v - 1] == part:
+                    seen[v] = True
+                    queue.append(v)
+    return components
+
+
+def surface_to_volume(
+    graph: Graph, assignment: Sequence[int], nparts: int
+) -> list[float]:
+    """Per part: boundary nodes / total nodes (0 for interior-only parts).
+
+    Low ratios mean compact subdomains -- exactly what keeps the platform's
+    shadow traffic small relative to compute.  Empty parts report 0.
+    """
+    boundary = [0] * nparts
+    volume = [0] * nparts
+    for gid in graph.nodes():
+        part = assignment[gid - 1]
+        volume[part] += 1
+        if any(assignment[v - 1] != part for v in graph.neighbors(gid)):
+            boundary[part] += 1
+    return [b / v if v else 0.0 for b, v in zip(boundary, volume)]
+
+
+def interface_matrix(
+    graph: Graph, assignment: Sequence[int], nparts: int
+) -> list[list[int]]:
+    """``matrix[a][b]`` = cut edges between parts a and b (symmetric).
+
+    This is the static analogue of the run-time processor graph the
+    dynamic load balancer builds from buffer lengths.
+    """
+    matrix = [[0] * nparts for _ in range(nparts)]
+    for u, v in graph.edges():
+        pu, pv = assignment[u - 1], assignment[v - 1]
+        if pu != pv:
+            matrix[pu][pv] += 1
+            matrix[pv][pu] += 1
+    return matrix
+
+
+def interface_stats(
+    graph: Graph, assignment: Sequence[int], nparts: int
+) -> dict[str, float]:
+    """Summary of the interface matrix.
+
+    Returns: ``pairs`` (communicating processor pairs), ``max_degree``
+    (most neighbours any processor has), ``max_interface`` (heaviest pair),
+    ``mean_interface`` (mean over communicating pairs, 0 when none).
+    """
+    matrix = interface_matrix(graph, assignment, nparts)
+    weights = [
+        matrix[a][b] for a in range(nparts) for b in range(a + 1, nparts)
+        if matrix[a][b] > 0
+    ]
+    degrees = [
+        sum(1 for b in range(nparts) if matrix[a][b] > 0) for a in range(nparts)
+    ]
+    return {
+        "pairs": float(len(weights)),
+        "max_degree": float(max(degrees, default=0)),
+        "max_interface": float(max(weights, default=0)),
+        "mean_interface": sum(weights) / len(weights) if weights else 0.0,
+    }
+
+
+def partition_summary(
+    graph: Graph, assignment: Sequence[int], nparts: int
+) -> str:
+    """One-screen text report over all diagnostics."""
+    from .metrics import communication_volume, edge_cut, load_imbalance
+
+    loads = part_loads(graph, assignment, nparts)
+    connectivity = part_connectivity(graph, assignment, nparts)
+    stv = surface_to_volume(graph, assignment, nparts)
+    stats = interface_stats(graph, assignment, nparts)
+    lines = [
+        f"parts: {nparts}   nodes: {graph.num_nodes}   edges: {graph.num_edges}",
+        f"edge cut: {edge_cut(graph, assignment)}   "
+        f"comm volume: {communication_volume(graph, assignment)}   "
+        f"imbalance: {load_imbalance(graph, assignment, nparts):.3f}",
+        f"interfaces: {stats['pairs']:.0f} pairs, heaviest "
+        f"{stats['max_interface']:.0f} edges, max proc degree "
+        f"{stats['max_degree']:.0f}",
+        "part   load   components   surface/volume",
+    ]
+    for part in range(nparts):
+        lines.append(
+            f"{part:4d}   {loads[part]:4d}   {connectivity[part]:10d}   "
+            f"{stv[part]:14.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Hexagonal coordinate arithmetic (cube/axial systems).
+
+The grid container in :mod:`.hexgrid` uses odd-r offset coordinates, which
+are convenient for storage but awkward for geometry.  This module provides
+the standard cube-coordinate toolbox -- exact distances, rings, ranges and
+interpolated lines -- used by the battlefield analytics (front lengths,
+zone radii) and handy for any hex-based application plugged into the
+platform.
+
+Conversions follow the usual odd-r conventions: offset ``(row, col)`` maps
+to cube ``(x, y, z)`` with ``x + y + z == 0``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = [
+    "offset_to_cube",
+    "cube_to_offset",
+    "cube_distance",
+    "hex_distance",
+    "cube_ring",
+    "cube_range",
+    "hexes_within",
+    "hex_line",
+]
+
+Cube = tuple[int, int, int]
+
+#: The six cube-coordinate direction vectors.
+_CUBE_DIRECTIONS: tuple[Cube, ...] = (
+    (1, -1, 0), (1, 0, -1), (0, 1, -1), (-1, 1, 0), (-1, 0, 1), (0, -1, 1)
+)
+
+
+def offset_to_cube(row: int, col: int) -> Cube:
+    """Odd-r offset -> cube coordinates."""
+    x = col - (row - (row & 1)) // 2
+    z = row
+    y = -x - z
+    return (x, y, z)
+
+
+def cube_to_offset(cube: Cube) -> tuple[int, int]:
+    """Cube -> odd-r offset coordinates (inverse of :func:`offset_to_cube`)."""
+    x, y, z = cube
+    if x + y + z != 0:
+        raise ValueError(f"invalid cube coordinate {cube}: components must sum to 0")
+    row = z
+    col = x + (z - (z & 1)) // 2
+    return (row, col)
+
+
+def cube_distance(a: Cube, b: Cube) -> int:
+    """Hex (Chebyshev-like) distance between two cube coordinates."""
+    return max(abs(a[0] - b[0]), abs(a[1] - b[1]), abs(a[2] - b[2]))
+
+
+def hex_distance(a: tuple[int, int], b: tuple[int, int]) -> int:
+    """Hex distance between two odd-r offset coordinates."""
+    return cube_distance(offset_to_cube(*a), offset_to_cube(*b))
+
+
+def cube_ring(center: Cube, radius: int) -> list[Cube]:
+    """The hexes exactly ``radius`` away from ``center`` (6*radius of them;
+    radius 0 yields just the center)."""
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    if radius == 0:
+        return [center]
+    results: list[Cube] = []
+    # start radius steps in direction 4, then walk around the six sides
+    x, y, z = center
+    dx, dy, dz = _CUBE_DIRECTIONS[4]
+    cube = (x + dx * radius, y + dy * radius, z + dz * radius)
+    for side in range(6):
+        for _ in range(radius):
+            results.append(cube)
+            dx, dy, dz = _CUBE_DIRECTIONS[side]
+            cube = (cube[0] + dx, cube[1] + dy, cube[2] + dz)
+    return results
+
+
+def cube_range(center: Cube, radius: int) -> Iterator[Cube]:
+    """All hexes within ``radius`` of ``center`` (inclusive)."""
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    cx, cy, cz = center
+    for dx in range(-radius, radius + 1):
+        for dy in range(max(-radius, -dx - radius), min(radius, -dx + radius) + 1):
+            dz = -dx - dy
+            yield (cx + dx, cy + dy, cz + dz)
+
+
+def hexes_within(
+    center: tuple[int, int], radius: int, rows: int, cols: int
+) -> list[tuple[int, int]]:
+    """In-bounds odd-r offset cells within ``radius`` of ``center``."""
+    out = []
+    for cube in cube_range(offset_to_cube(*center), radius):
+        row, col = cube_to_offset(cube)
+        if 0 <= row < rows and 0 <= col < cols:
+            out.append((row, col))
+    return out
+
+
+def _cube_lerp(a: Cube, b: Cube, t: float) -> tuple[float, float, float]:
+    return tuple(a[i] + (b[i] - a[i]) * t for i in range(3))  # type: ignore[return-value]
+
+
+def _cube_round(frac: tuple[float, float, float]) -> Cube:
+    rx, ry, rz = (round(c) for c in frac)
+    dx, dy, dz = (abs(r - c) for r, c in zip((rx, ry, rz), frac))
+    if dx > dy and dx > dz:
+        rx = -ry - rz
+    elif dy > dz:
+        ry = -rx - rz
+    else:
+        rz = -rx - ry
+    return (int(rx), int(ry), int(rz))
+
+
+def hex_line(a: tuple[int, int], b: tuple[int, int]) -> list[tuple[int, int]]:
+    """The offset cells on the straight hex line from ``a`` to ``b``
+    (inclusive) -- useful for line-of-sight/march-route queries."""
+    ca, cb = offset_to_cube(*a), offset_to_cube(*b)
+    steps = cube_distance(ca, cb)
+    if steps == 0:
+        return [a]
+    out = []
+    for i in range(steps + 1):
+        # nudge off grid-edge ties for stable rounding
+        frac = _cube_lerp(ca, cb, i / steps)
+        frac = (frac[0] + 1e-6, frac[1] + 2e-6, frac[2] - 3e-6)
+        out.append(cube_to_offset(_cube_round(frac)))
+    return out

@@ -1,0 +1,121 @@
+"""Partition-quality metrics.
+
+The thesis judges partitioners by the balance of computational load and by
+the *edge cut* (inter-processor communication), and the dynamic load
+balancer reasons about buffer lengths (communication volume).  These
+functions compute those quantities for a node-to-processor assignment.
+
+An *assignment* is a list with ``assignment[gid - 1] == processor`` for every
+global node ID -- the exact shape of the thesis's ``output_arr``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from .graph import Graph
+
+__all__ = [
+    "validate_assignment",
+    "edge_cut",
+    "weighted_edge_cut",
+    "communication_volume",
+    "part_loads",
+    "load_imbalance",
+    "boundary_nodes",
+    "neighbor_processors",
+    "parts_used",
+]
+
+
+def validate_assignment(graph: Graph, assignment: Sequence[int], nparts: int) -> None:
+    """Raise ``ValueError`` unless the assignment covers every node with a
+    processor id in ``[0, nparts)``."""
+    if len(assignment) != graph.num_nodes:
+        raise ValueError(
+            f"assignment covers {len(assignment)} nodes, graph has {graph.num_nodes}"
+        )
+    for gid, proc in enumerate(assignment, start=1):
+        if not 0 <= proc < nparts:
+            raise ValueError(f"node {gid} assigned to processor {proc} outside [0, {nparts})")
+
+
+def edge_cut(graph: Graph, assignment: Sequence[int]) -> int:
+    """Number of edges whose endpoints live on different processors."""
+    return sum(
+        1 for u, v in graph.edges() if assignment[u - 1] != assignment[v - 1]
+    )
+
+
+def weighted_edge_cut(graph: Graph, assignment: Sequence[int]) -> int:
+    """Edge cut counting edge weights."""
+    return sum(
+        graph.edge_weight(u, v)
+        for u, v in graph.edges()
+        if assignment[u - 1] != assignment[v - 1]
+    )
+
+
+def communication_volume(graph: Graph, assignment: Sequence[int]) -> int:
+    """Total shadow-copy count: for each node, the number of *distinct*
+    remote processors that need its data.
+
+    This is exactly the sum of the platform's per-processor communication
+    buffer lengths, and therefore the quantity its load balancer uses as
+    processor-graph edge weights.
+    """
+    volume = 0
+    for gid in graph.nodes():
+        own = assignment[gid - 1]
+        remote = {assignment[v - 1] for v in graph.neighbors(gid)} - {own}
+        volume += len(remote)
+    return volume
+
+
+def part_loads(graph: Graph, assignment: Sequence[int], nparts: int) -> list[int]:
+    """Total node weight hosted by each processor."""
+    loads = [0] * nparts
+    for gid in graph.nodes():
+        loads[assignment[gid - 1]] += graph.node_weight(gid)
+    return loads
+
+
+def load_imbalance(graph: Graph, assignment: Sequence[int], nparts: int) -> float:
+    """``max_load / mean_load``; 1.0 is perfect balance."""
+    loads = part_loads(graph, assignment, nparts)
+    total = sum(loads)
+    if total == 0:
+        return 1.0
+    mean = total / nparts
+    return max(loads) / mean
+
+
+def boundary_nodes(graph: Graph, assignment: Sequence[int]) -> set[int]:
+    """Global IDs of peripheral nodes (>= 1 neighbour on another processor)."""
+    return {
+        gid
+        for gid in graph.nodes()
+        if any(assignment[v - 1] != assignment[gid - 1] for v in graph.neighbors(gid))
+    }
+
+
+def neighbor_processors(
+    graph: Graph, assignment: Sequence[int], proc: int
+) -> set[int]:
+    """Processors that share at least one cut edge with ``proc``."""
+    out: set[int] = set()
+    for u, v in graph.edges():
+        pu, pv = assignment[u - 1], assignment[v - 1]
+        if pu == pv:
+            continue
+        if pu == proc:
+            out.add(pv)
+        elif pv == proc:
+            out.add(pu)
+    return out
+
+
+def parts_used(assignment: Sequence[int]) -> Counter:
+    """Histogram of node counts per processor."""
+    return Counter(assignment)

@@ -1,0 +1,77 @@
+"""Virtual-time simulated MPI substrate.
+
+This package stands in for the real MPI library + SGI Origin-2000 testbed of
+the thesis.  It provides:
+
+* :class:`SimCluster` / :func:`run_mpi` -- ``mpirun``-style execution of a
+  Python function on N simulated ranks (thread per rank),
+* :class:`Communicator` -- an mpi4py-flavoured API (``send``/``recv``/
+  ``isend``/``irecv``/``bcast``/``gather``/``barrier``/``Wtime``) whose costs
+  are charged to deterministic per-rank *virtual clocks*,
+* :class:`MachineModel` -- the alpha-beta communication cost model with an
+  ``ORIGIN2000`` preset calibrated to the paper's tables,
+* derived-datatype emulation for exact wire-size accounting.
+
+Quick example::
+
+    from repro.mpi import run_mpi
+
+    def hello(comm):
+        comm.work(1e-3)                      # 1 ms of "computation"
+        total = comm.allreduce(comm.rank)
+        return comm.Wtime(), total
+
+    results = run_mpi(hello, nprocs=4)
+"""
+
+from .communicator import ANY_SOURCE, ANY_TAG, Communicator
+from .datatypes import CHAR, DOUBLE, INT, Datatype, StructType
+from .errors import (
+    CommAbortedError,
+    DeadlockError,
+    InvalidRankError,
+    InvalidTagError,
+    MPIError,
+    TruncationError,
+)
+from .message import Message, RecvRequest, Request, SendRequest, Status
+from .runtime import RankState, SimCluster, run_mpi
+from .timing import (
+    ETHERNET_CLUSTER,
+    IDEAL,
+    ORIGIN2000,
+    MachineModel,
+    TopologyMachineModel,
+    estimate_nbytes,
+)
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CHAR",
+    "Communicator",
+    "CommAbortedError",
+    "Datatype",
+    "DeadlockError",
+    "DOUBLE",
+    "ETHERNET_CLUSTER",
+    "IDEAL",
+    "INT",
+    "InvalidRankError",
+    "InvalidTagError",
+    "MachineModel",
+    "Message",
+    "MPIError",
+    "ORIGIN2000",
+    "RankState",
+    "RecvRequest",
+    "Request",
+    "SendRequest",
+    "SimCluster",
+    "Status",
+    "StructType",
+    "TopologyMachineModel",
+    "TruncationError",
+    "estimate_nbytes",
+    "run_mpi",
+]

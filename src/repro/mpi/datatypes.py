@@ -1,0 +1,84 @@
+"""Derived-datatype emulation.
+
+The thesis commits a derived ``MPI_Type_struct`` for the two-int
+``buffer_data_node`` records it ships between processors (Appendix B).  The
+simulated substrate transports Python objects, so datatypes here only serve
+the *cost model*: committing a :class:`StructType` yields an exact byte size
+for each record, which the platform passes as the ``nbytes`` override on its
+shadow-exchange sends instead of relying on the generic payload estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Datatype", "INT", "DOUBLE", "CHAR", "StructType"]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """A basic wire datatype with a fixed extent in bytes."""
+
+    name: str
+    extent: int
+
+    def size_of(self, count: int = 1) -> int:
+        """Wire size of ``count`` elements."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return self.extent * count
+
+
+INT = Datatype("int", 4)
+DOUBLE = Datatype("double", 8)
+CHAR = Datatype("char", 1)
+
+
+@dataclass
+class StructType:
+    """A derived struct datatype (mirrors ``MPI_Type_struct`` + commit).
+
+    Build it from ``(blockcount, basetype)`` pairs, then :meth:`commit` it
+    before use, exactly as MPI requires:
+
+        >>> buffer_record = StructType([(2, INT)], name="buffer_data_node")
+        >>> buffer_record.commit()
+        >>> buffer_record.size_of(count=5)
+        40
+    """
+
+    blocks: list[tuple[int, Datatype]]
+    name: str = "struct"
+    _committed: bool = field(default=False, repr=False)
+
+    @property
+    def extent(self) -> int:
+        """Byte extent of one struct instance."""
+        return sum(count * dtype.extent for count, dtype in self.blocks)
+
+    @property
+    def committed(self) -> bool:
+        """Whether :meth:`commit` was called."""
+        return self._committed
+
+    def commit(self) -> "StructType":
+        """Mark the type ready for use in communication; returns self."""
+        if not self.blocks:
+            raise ValueError("cannot commit an empty struct type")
+        for count, _ in self.blocks:
+            if count <= 0:
+                raise ValueError(f"block count must be positive, got {count}")
+        self._committed = True
+        return self
+
+    def free(self) -> None:
+        """Release the type (mirrors ``MPI_Type_free``)."""
+        self._committed = False
+
+    def size_of(self, count: int = 1) -> int:
+        """Wire size of ``count`` struct instances; requires commit."""
+        if not self._committed:
+            raise RuntimeError(f"datatype {self.name!r} used before commit()")
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return self.extent * count

@@ -1,0 +1,33 @@
+"""Exception types raised by the simulated MPI runtime."""
+
+from __future__ import annotations
+
+
+class MPIError(Exception):
+    """Base class for all simulated-MPI errors."""
+
+
+class InvalidRankError(MPIError):
+    """A rank outside ``[0, size)`` was used as a source or destination."""
+
+
+class InvalidTagError(MPIError):
+    """A negative tag (other than ``ANY_TAG``) was used on a send."""
+
+
+class DeadlockError(MPIError):
+    """Every live rank is blocked and no message can make progress.
+
+    The runtime watches a global progress counter; when all unfinished ranks
+    sit in a blocking wait and the counter stops moving for the configured
+    timeout, the wait is aborted with this error instead of hanging the
+    test suite forever.
+    """
+
+
+class CommAbortedError(MPIError):
+    """The cluster was aborted (peer raised, or ``Communicator.abort``)."""
+
+
+class TruncationError(MPIError):
+    """A received message was larger than the posted receive allows."""

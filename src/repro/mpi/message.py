@@ -1,0 +1,166 @@
+"""Message, status, and request objects for the simulated MPI runtime."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .communicator import Communicator
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "Status", "Request", "SendRequest", "RecvRequest"]
+
+#: Wildcard source rank for receives (mirrors ``MPI_ANY_SOURCE``).
+ANY_SOURCE = -1
+
+#: Wildcard tag for receives (mirrors ``MPI_ANY_TAG``).
+ANY_TAG = -1
+
+_seq = itertools.count()
+
+
+@dataclass
+class Message:
+    """One in-flight message inside the simulated network.
+
+    Attributes:
+        src: Sending rank (communicator-local).
+        dest: Receiving rank (communicator-local).
+        tag: User (or internal collective) tag.
+        comm_id: Identifier of the communicator the message travels on, so
+            split/dup'ed communicators never intercept each other's traffic.
+        payload: The Python object being transported.
+        nbytes: Estimated wire size, drives the cost model.
+        send_time: Sender's virtual clock when the message was injected.
+        arrival_time: Virtual time at which the payload is available at the
+            destination (``send_time + transfer_time``).
+        seq: Global injection sequence number; used only as a deterministic
+            tie-break for ``ANY_SOURCE`` matching.
+    """
+
+    src: int
+    dest: int
+    tag: int
+    comm_id: int
+    payload: Any
+    nbytes: int
+    send_time: float
+    arrival_time: float
+    seq: int = field(default_factory=lambda: next(_seq))
+
+    def matches(self, source: int, tag: int, comm_id: int) -> bool:
+        """Whether this message satisfies a receive posted with the triple."""
+        if comm_id != self.comm_id:
+            return False
+        if source != ANY_SOURCE and source != self.src:
+            return False
+        if tag != ANY_TAG and tag != self.tag:
+            return False
+        return True
+
+
+@dataclass
+class Status:
+    """Completion information for a receive (mirrors ``MPI_Status``)."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    nbytes: int = 0
+
+    def update_from(self, msg: Message) -> None:
+        """Populate the fields from a matched message."""
+        self.source = msg.src
+        self.tag = msg.tag
+        self.nbytes = msg.nbytes
+
+
+class Request:
+    """Base class for nonblocking-operation handles."""
+
+    def wait(self, status: Status | None = None) -> Any:
+        """Block until the operation completes; return the received payload
+        (receives) or ``None`` (sends)."""
+        raise NotImplementedError
+
+    def test(self, status: Status | None = None) -> tuple[bool, Any]:
+        """Non-blocking completion probe: ``(done, payload-or-None)``."""
+        raise NotImplementedError
+
+    def cancel(self) -> None:
+        """Cancel the request if it has not completed (best effort)."""
+        raise NotImplementedError
+
+
+class SendRequest(Request):
+    """Handle for ``isend``.
+
+    The simulated network is eagerly buffered: the payload is copied into the
+    destination mailbox at injection time, so a send request is complete the
+    moment it is created.  ``wait`` therefore never blocks -- exactly the
+    behaviour the platform relies on when it fires ``MPI_Isend`` for every
+    neighbouring processor before doing any receives (Figure 8).
+    """
+
+    def __init__(self, msg: Message) -> None:
+        self._msg = msg
+
+    def wait(self, status: Status | None = None) -> None:
+        if status is not None:
+            status.source = self._msg.src
+            status.tag = self._msg.tag
+            status.nbytes = self._msg.nbytes
+        return None
+
+    def test(self, status: Status | None = None) -> tuple[bool, Any]:
+        self.wait(status)
+        return True, None
+
+    def cancel(self) -> None:  # already delivered; cancelling is a no-op
+        return None
+
+
+class RecvRequest(Request):
+    """Handle for ``irecv``.
+
+    Completion is deferred until ``wait``/``test``: the matching message (if
+    any) is pulled from the mailbox at that point, and the receiver's clock
+    advances to ``max(now, arrival)`` -- which is precisely what lets the
+    overlapped Figure-8a pipeline hide transfer time behind the internal-node
+    computation.
+    """
+
+    def __init__(self, comm: "Communicator", source: int, tag: int) -> None:
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._payload: Any = None
+        self._cancelled = False
+
+    def wait(self, status: Status | None = None) -> Any:
+        if self._cancelled:
+            return None
+        if not self._done:
+            self._payload = self._comm._complete_recv(self._source, self._tag, status)
+            self._done = True
+        elif status is not None:
+            # Status was already consumed on the first wait; re-waits keep it.
+            pass
+        return self._payload
+
+    def test(self, status: Status | None = None) -> tuple[bool, Any]:
+        if self._cancelled:
+            return True, None
+        if self._done:
+            return True, self._payload
+        payload, ok = self._comm._try_recv(self._source, self._tag, status)
+        if ok:
+            self._done = True
+            self._payload = payload
+            return True, payload
+        return False, None
+
+    def cancel(self) -> None:
+        if not self._done:
+            self._cancelled = True

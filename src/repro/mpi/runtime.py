@@ -1,0 +1,350 @@
+"""The simulated cluster: thread-per-rank execution with virtual clocks.
+
+``SimCluster.run(fn, ...)`` plays the role of ``mpirun -np N``: it launches
+one OS thread per rank, hands each a :class:`~repro.mpi.communicator.
+Communicator` (its ``COMM_WORLD``), and joins them.  Real time is irrelevant;
+every rank owns a *virtual clock* that advances only through
+
+* explicit compute charges (``comm.work(seconds)``), and
+* the communication cost model (:mod:`repro.mpi.timing`).
+
+Because the Python GIL serializes actual execution, the only way to study
+parallel *performance* on this substrate is through those virtual clocks --
+which is exactly how the benchmark harness reproduces the paper's tables.
+
+Correctness properties the runtime guarantees:
+
+* per-(source, dest, tag-stream) FIFO message ordering, so virtual results
+  are deterministic for named-source receives regardless of host thread
+  scheduling;
+* a deadlock watchdog that raises :class:`DeadlockError` instead of hanging
+  when every unfinished rank is blocked and no progress is possible;
+* exception propagation: if any rank raises, all blocked peers are woken
+  with :class:`CommAbortedError` and the original exception is re-raised
+  from :meth:`SimCluster.run`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from .communicator import Communicator
+from .errors import CommAbortedError, DeadlockError
+from .message import Message
+from .timing import ORIGIN2000, MachineModel
+
+__all__ = ["RankState", "SimCluster", "run_mpi"]
+
+
+@dataclass
+class RankState:
+    """Mutable per-rank bookkeeping owned by the cluster."""
+
+    rank: int
+    clock: float = 0.0
+    mailbox: list[Message] = field(default_factory=list)
+    finished: bool = False
+    blocked: bool = False
+    result: Any = None
+    error: BaseException | None = None
+
+
+class _BarrierState:
+    """Rendezvous bookkeeping for one communicator's barrier."""
+
+    __slots__ = ("count", "generation", "max_clock", "release_clock")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.generation = 0
+        self.max_clock = 0.0
+        self.release_clock = 0.0
+
+
+class SimCluster:
+    """A simulated MPI machine with ``nprocs`` ranks.
+
+    Args:
+        nprocs: Number of ranks in ``COMM_WORLD``.
+        machine: Cost model used for every communication operation.
+        deadlock_timeout: Real-time seconds of global inactivity after which
+            blocked ranks abort with :class:`DeadlockError`.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        machine: MachineModel = ORIGIN2000,
+        deadlock_timeout: float = 10.0,
+    ) -> None:
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        self.nprocs = nprocs
+        self.machine = machine
+        self.deadlock_timeout = deadlock_timeout
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._ranks = [RankState(r) for r in range(nprocs)]
+        self._barriers: dict[Any, _BarrierState] = {}
+        self._progress = 0  # bumped on every event that could unblock a waiter
+        self._aborted = False
+        self._abort_reason: str | None = None
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        per_rank_args: Sequence[tuple[Any, ...]] | None = None,
+    ) -> list[Any]:
+        """Execute ``fn(comm, *args)`` on every rank; return per-rank results.
+
+        Args:
+            fn: The "MPI program". Its first argument is the rank's world
+                communicator.
+            *args: Extra positional arguments passed identically to all ranks.
+            per_rank_args: Optional per-rank extra arguments, appended after
+                ``args``; must have exactly ``nprocs`` entries.
+
+        Returns:
+            ``[fn(comm_0, ...), ..., fn(comm_{n-1}, ...)]`` in rank order.
+
+        Raises:
+            The first exception raised by any rank (other ranks are aborted).
+        """
+        if per_rank_args is not None and len(per_rank_args) != self.nprocs:
+            raise ValueError(
+                f"per_rank_args must have {self.nprocs} entries, got {len(per_rank_args)}"
+            )
+
+        def runner(rank: int) -> None:
+            state = self._ranks[rank]
+            comm = Communicator(self, rank, tuple(range(self.nprocs)), comm_id=0)
+            extra = per_rank_args[rank] if per_rank_args is not None else ()
+            try:
+                state.result = fn(comm, *args, *extra)
+            except BaseException as exc:  # noqa: BLE001 - reraised in run()
+                state.error = exc
+                with self._cond:
+                    self._aborted = True
+                    self._abort_reason = f"rank {rank} raised {type(exc).__name__}: {exc}"
+                    self._cond.notify_all()
+            finally:
+                with self._cond:
+                    state.finished = True
+                    self._progress += 1
+                    self._cond.notify_all()
+
+        threads = [
+            threading.Thread(target=runner, args=(r,), name=f"sim-rank-{r}", daemon=True)
+            for r in range(self.nprocs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        for state in self._ranks:
+            if state.error is not None and not isinstance(state.error, CommAbortedError):
+                raise state.error
+        for state in self._ranks:  # only abort errors remain, surface the first
+            if state.error is not None:
+                raise state.error
+        return [state.result for state in self._ranks]
+
+    # ------------------------------------------------------------------ #
+    # State accessors used by Communicator (all require self._lock)
+    # ------------------------------------------------------------------ #
+
+    def state(self, rank: int) -> RankState:
+        """The mutable state record of ``rank`` (world-rank indexed)."""
+        return self._ranks[rank]
+
+    def clock(self, rank: int) -> float:
+        """Current virtual clock of ``rank``."""
+        return self._ranks[rank].clock
+
+    def max_clock(self) -> float:
+        """Maximum virtual clock across all ranks (the makespan so far)."""
+        return max(state.clock for state in self._ranks)
+
+    def abort(self, reason: str) -> None:
+        """Abort the whole cluster; wakes all blocked ranks."""
+        with self._cond:
+            self._aborted = True
+            self._abort_reason = reason
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Message transport (called by Communicator)
+    # ------------------------------------------------------------------ #
+
+    def deliver(self, msg: Message) -> None:
+        """Place ``msg`` into the destination mailbox and wake waiters."""
+        with self._cond:
+            self._check_abort()
+            self._ranks[msg.dest].mailbox.append(msg)
+            self._progress += 1
+            self._cond.notify_all()
+
+    def take_matching(
+        self, rank: int, source: int, tag: int, comm_id: Any, consume: bool = True
+    ) -> Message | None:
+        """Pop (or peek at) the best matching message in ``rank``'s mailbox.
+
+        Matching is FIFO per (source, tag) stream.  For wildcard receives the
+        candidate with the earliest virtual arrival time wins, with the
+        injection sequence number as a deterministic tie-break.
+        """
+        with self._cond:
+            return self._take_matching_locked(rank, source, tag, comm_id, consume)
+
+    def _take_matching_locked(
+        self, rank: int, source: int, tag: int, comm_id: Any, consume: bool = True
+    ) -> Message | None:
+        """Select a matching message.
+
+        Named source: first match in mailbox order.  Because each sender
+        appends in its own program order, mailbox order restricted to one
+        (source, tag) stream *is* send order, giving MPI's non-overtaking
+        guarantee.
+
+        ``ANY_SOURCE``: consider only the head (earliest-sent) match of each
+        source, then pick the one with the smallest virtual arrival time,
+        tie-broken by source rank -- deterministic in virtual time regardless
+        of host thread scheduling.
+        """
+        from .message import ANY_SOURCE as _ANY_SOURCE
+
+        mailbox = self._ranks[rank].mailbox
+        best_idx: int | None = None
+        if source != _ANY_SOURCE:
+            for idx, msg in enumerate(mailbox):
+                if msg.matches(source, tag, comm_id):
+                    best_idx = idx
+                    break
+        else:
+            heads: dict[int, int] = {}  # src -> first matching mailbox index
+            for idx, msg in enumerate(mailbox):
+                if msg.matches(source, tag, comm_id) and msg.src not in heads:
+                    heads[msg.src] = idx
+            if heads:
+                best_idx = min(
+                    heads.values(),
+                    key=lambda i: (mailbox[i].arrival_time, mailbox[i].src),
+                )
+        if best_idx is None:
+            return None
+        if not consume:
+            return mailbox[best_idx]
+        return mailbox.pop(best_idx)
+
+    def wait_for_message(
+        self, rank: int, source: int, tag: int, comm_id: Any, consume: bool = True
+    ) -> Message:
+        """Block rank's thread until a matching message exists, then pop it."""
+        state = self._ranks[rank]
+        waited = 0.0
+        poll = 0.05
+        with self._cond:
+            while True:
+                self._check_abort()
+                msg = self._take_matching_locked(rank, source, tag, comm_id, consume)
+                if msg is not None:
+                    return msg
+                snapshot = self._progress
+                state.blocked = True
+                try:
+                    self._cond.wait(timeout=poll)
+                finally:
+                    state.blocked = False
+                if self._progress != snapshot:
+                    waited = 0.0
+                    continue
+                waited += poll
+                if waited >= self.deadlock_timeout and self._all_stuck(state):
+                    self._aborted = True
+                    self._abort_reason = (
+                        f"deadlock: rank {rank} waiting on (source={source}, "
+                        f"tag={tag}) with all ranks blocked"
+                    )
+                    self._cond.notify_all()
+                    raise DeadlockError(self._abort_reason)
+
+    def _all_stuck(self, caller: RankState) -> bool:
+        """True when every unfinished rank is blocked (deadlock candidate).
+
+        The caller just woke from its own wait (clearing its flag) purely to
+        run this check, so it counts as stuck.
+        """
+        return all(s.finished or s.blocked or s is caller for s in self._ranks)
+
+    def _check_abort(self) -> None:
+        if self._aborted:
+            raise CommAbortedError(self._abort_reason or "cluster aborted")
+
+    # ------------------------------------------------------------------ #
+    # Barrier (native, for efficiency and exact max-clock semantics)
+    # ------------------------------------------------------------------ #
+
+    def barrier(self, rank: int, group: tuple[int, ...], comm_id: Any) -> float:
+        """Synchronize ``group``; returns the common release clock.
+
+        All participants' clocks are advanced to
+        ``max(entry clocks) + barrier_time(len(group))``.
+        """
+        state = self._ranks[rank]
+        with self._cond:
+            self._check_abort()
+            bar = self._barriers.setdefault(comm_id, _BarrierState())
+            my_generation = bar.generation
+            bar.max_clock = max(bar.max_clock, state.clock)
+            bar.count += 1
+            if bar.count == len(group):
+                bar.release_clock = bar.max_clock + self.machine.barrier_time(len(group))
+                bar.count = 0
+                bar.max_clock = 0.0
+                bar.generation += 1
+                self._progress += 1
+                self._cond.notify_all()
+            else:
+                waited = 0.0
+                poll = 0.05
+                while bar.generation == my_generation:
+                    self._check_abort()
+                    snapshot = self._progress
+                    state.blocked = True
+                    try:
+                        self._cond.wait(timeout=poll)
+                    finally:
+                        state.blocked = False
+                    if self._progress != snapshot:
+                        waited = 0.0
+                        continue
+                    waited += poll
+                    if waited >= self.deadlock_timeout and self._all_stuck(state):
+                        self._aborted = True
+                        self._abort_reason = f"deadlock: rank {rank} stuck in barrier"
+                        self._cond.notify_all()
+                        raise DeadlockError(self._abort_reason)
+            release = bar.release_clock
+            state.clock = max(state.clock, release)
+            return release
+
+
+def run_mpi(
+    fn: Callable[..., Any],
+    nprocs: int,
+    *args: Any,
+    machine: MachineModel = ORIGIN2000,
+    deadlock_timeout: float = 10.0,
+    per_rank_args: Sequence[tuple[Any, ...]] | None = None,
+) -> list[Any]:
+    """One-shot convenience wrapper: build a cluster, run ``fn``, return results."""
+    cluster = SimCluster(nprocs, machine=machine, deadlock_timeout=deadlock_timeout)
+    return cluster.run(fn, *args, per_rank_args=per_rank_args)

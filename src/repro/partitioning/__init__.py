@@ -1,0 +1,49 @@
+"""Static graph partitioners (third-party plug-in slot of the platform).
+
+Everything here implements :class:`~repro.partitioning.base.Partitioner`:
+
+* :class:`MetisLikePartitioner` -- multilevel k-way ([KK98] family),
+* :class:`PaGridLikePartitioner` -- architecture-aware with the ``Rref``
+  estimated-execution-time objective ([WA04, HAB06] family),
+* :class:`RowBandPartitioner`, :class:`ColumnBandPartitioner`,
+  :class:`RectangularPartitioner` -- the battlefield band schemes,
+* :class:`GrayCodePartitioner` -- the fine-grained mesh-to-hypercube
+  gray-code embedding ("BF partition"),
+* :class:`SpectralPartitioner` and the simple baselines.
+"""
+
+from .bands import (
+    ColumnBandPartitioner,
+    RectangularPartitioner,
+    RowBandPartitioner,
+    balanced_factor_pair,
+)
+from .base import Partition, Partitioner
+from .graycode import GrayCodePartitioner, gray_code, gray_decode
+from .jostle import JostleLikePartitioner
+from .multilevel import MetisLikePartitioner
+from .pagrid import PaGridLikePartitioner
+from .procgraph import ProcessorGraph
+from .simple import BfsGreedyPartitioner, RandomPartitioner, RoundRobinPartitioner
+from .spectral import SpectralPartitioner, fiedler_vector
+
+__all__ = [
+    "BfsGreedyPartitioner",
+    "ColumnBandPartitioner",
+    "GrayCodePartitioner",
+    "JostleLikePartitioner",
+    "MetisLikePartitioner",
+    "PaGridLikePartitioner",
+    "Partition",
+    "Partitioner",
+    "ProcessorGraph",
+    "RandomPartitioner",
+    "RectangularPartitioner",
+    "RoundRobinPartitioner",
+    "RowBandPartitioner",
+    "SpectralPartitioner",
+    "balanced_factor_pair",
+    "fiedler_vector",
+    "gray_code",
+    "gray_decode",
+]

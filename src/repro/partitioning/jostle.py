@@ -1,0 +1,215 @@
+"""Jostle-like partitioner: multilevel with diffusive refinement.
+
+Jostle [WC01] is the third partitioning package the thesis names alongside
+Metis and PaGrid.  Its signature ingredient is *diffusive* load balancing
+woven into the multilevel refinement: instead of enforcing balance with
+hard caps during gain-driven moves, each refinement level first solves a
+flow problem -- how much load should cross each pair of adjacent parts to
+even them out -- and then selects boundary vertices to realize those flows
+at minimum cut damage.
+
+This implementation reuses the shared coarsening ladder and initial
+partitioning, replacing the FM step with:
+
+1. **flow step** -- repeated first-order diffusion on the *part* graph
+   (load moves along part-adjacency edges proportionally to the load
+   difference) yields a per-edge transfer schedule;
+2. **selection step** -- boundary vertices move along scheduled flows in
+   best-gain-first order until each flow is (approximately) satisfied;
+3. a plain gain pass (zero balance impact moves only) polishes the cut.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..graphs.graph import Graph
+from .base import Partition, Partitioner
+from .multilevel.coarsen import coarsen
+from .multilevel.initial import recursive_bisection
+from .multilevel.matching import heavy_edge_matching
+from .multilevel.refine import move_gains
+
+__all__ = ["JostleLikePartitioner"]
+
+
+def _part_loads(graph: Graph, assignment: Sequence[int], nparts: int) -> list[float]:
+    loads = [0.0] * nparts
+    for gid in graph.nodes():
+        loads[assignment[gid - 1]] += graph.node_weight(gid)
+    return loads
+
+
+def _part_adjacency(
+    graph: Graph, assignment: Sequence[int], nparts: int
+) -> set[tuple[int, int]]:
+    """Adjacent part pairs (a < b)."""
+    pairs: set[tuple[int, int]] = set()
+    for u, v in graph.edges():
+        pu, pv = assignment[u - 1], assignment[v - 1]
+        if pu != pv:
+            pairs.add((min(pu, pv), max(pu, pv)))
+    return pairs
+
+
+def diffusion_flows(
+    loads: Sequence[float],
+    adjacency: set[tuple[int, int]],
+    rounds: int = 40,
+    alpha: float = 0.4,
+) -> dict[tuple[int, int], float]:
+    """First-order diffusion schedule on the part graph.
+
+    Returns ``(a, b) -> amount`` meaning "move ``amount`` of load from a to
+    b" (negative = the other way), accumulated over ``rounds`` diffusion
+    steps with mixing factor ``alpha / degree``.
+    """
+    nparts = len(loads)
+    degree = [0] * nparts
+    for a, b in adjacency:
+        degree[a] += 1
+        degree[b] += 1
+    current = list(loads)
+    flows = {pair: 0.0 for pair in adjacency}
+    for _ in range(rounds):
+        deltas = [0.0] * nparts
+        for a, b in adjacency:
+            weight = alpha / max(1, max(degree[a], degree[b]))
+            flow = weight * (current[a] - current[b])
+            flows[(a, b)] += flow
+            deltas[a] -= flow
+            deltas[b] += flow
+        for p in range(nparts):
+            current[p] += deltas[p]
+    return flows
+
+
+class JostleLikePartitioner(Partitioner):
+    """Multilevel k-way partitioner with diffusive refinement.
+
+    Args:
+        seed: RNG seed (deterministic output).
+        diffusion_rounds: Diffusion steps per refinement level.
+        polish_passes: Zero-imbalance gain passes after the flow is realized.
+        coarsen_to: Coarsening stop size (per the shared ladder).
+    """
+
+    name = "jostle"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        diffusion_rounds: int = 40,
+        polish_passes: int = 4,
+        coarsen_to: int = 24,
+    ) -> None:
+        self.seed = seed
+        self.diffusion_rounds = diffusion_rounds
+        self.polish_passes = polish_passes
+        self.coarsen_to = coarsen_to
+
+    def partition(self, graph: Graph, nparts: int) -> Partition:
+        self._check_nparts(graph, nparts)
+        if (trivial := self._trivial(graph, nparts)) is not None:
+            return trivial
+        rng = random.Random(self.seed)
+        levels = coarsen(
+            graph,
+            min_nodes=max(self.coarsen_to, 4 * nparts),
+            rng=rng,
+            matcher=heavy_edge_matching,
+        )
+        coarsest = levels[-1].graph if levels else graph
+        assignment = recursive_bisection(coarsest, nparts, rng)
+        self._refine(coarsest, assignment, nparts, rng)
+        for idx in range(len(levels) - 1, -1, -1):
+            fine_graph = graph if idx == 0 else levels[idx - 1].graph
+            assignment = levels[idx].project(assignment)
+            self._refine(fine_graph, assignment, nparts, rng)
+        return Partition.from_assignment(graph, assignment, nparts, method=self.name)
+
+    # ------------------------------------------------------------------ #
+
+    def _refine(
+        self, graph: Graph, assignment: list[int], nparts: int, rng: random.Random
+    ) -> None:
+        self._realize_flows(graph, assignment, nparts, rng)
+        self._polish(graph, assignment, nparts, rng)
+
+    def _realize_flows(
+        self, graph: Graph, assignment: list[int], nparts: int, rng: random.Random
+    ) -> None:
+        """Move boundary vertices along the diffusion schedule."""
+        loads = _part_loads(graph, assignment, nparts)
+        adjacency = _part_adjacency(graph, assignment, nparts)
+        if not adjacency:
+            return
+        flows = diffusion_flows(loads, adjacency, rounds=self.diffusion_rounds)
+        # normalize to "move remaining[src->dst] >= 0"
+        remaining: dict[tuple[int, int], float] = {}
+        for (a, b), amount in flows.items():
+            if amount > 0:
+                remaining[(a, b)] = amount
+            elif amount < 0:
+                remaining[(b, a)] = -amount
+
+        for _ in range(graph.num_nodes):  # hard bound
+            moved = False
+            for (src, dst), amount in sorted(
+                remaining.items(), key=lambda kv: -kv[1]
+            ):
+                if amount <= 0:
+                    continue
+                best_gid = None
+                best_key: tuple[float, int] | None = None
+                for gid in graph.nodes():
+                    if assignment[gid - 1] != src:
+                        continue
+                    gains = move_gains(graph, assignment, gid)
+                    if dst not in gains:
+                        continue  # not on the src/dst boundary
+                    weight = graph.node_weight(gid)
+                    if weight > amount + graph.node_weight(gid) / 2:
+                        continue  # overshoot
+                    key = (-gains[dst], gid)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best_gid = gid
+                if best_gid is None:
+                    remaining[(src, dst)] = 0.0
+                    continue
+                weight = graph.node_weight(best_gid)
+                assignment[best_gid - 1] = dst
+                remaining[(src, dst)] = amount - weight
+                moved = True
+            if not moved:
+                break
+
+    def _polish(
+        self, graph: Graph, assignment: list[int], nparts: int, rng: random.Random
+    ) -> None:
+        """Strictly-positive-gain moves between equal-or-helping loads only."""
+        loads = _part_loads(graph, assignment, nparts)
+        for _ in range(self.polish_passes):
+            boundary = [
+                gid
+                for gid in graph.nodes()
+                if any(assignment[v - 1] != assignment[gid - 1] for v in graph.neighbors(gid))
+            ]
+            rng.shuffle(boundary)
+            moved = 0
+            for gid in boundary:
+                own = assignment[gid - 1]
+                weight = graph.node_weight(gid)
+                if loads[own] <= weight:
+                    continue
+                for part, gain in move_gains(graph, assignment, gid).items():
+                    if gain > 0 and loads[part] + weight <= loads[own]:
+                        assignment[gid - 1] = part
+                        loads[own] -= weight
+                        loads[part] += weight
+                        moved += 1
+                        break
+            if not moved:
+                break

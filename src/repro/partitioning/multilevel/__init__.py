@@ -1,0 +1,21 @@
+"""Multilevel k-way partitioning (the Metis-like plug-in)."""
+
+from .coarsen import CoarseLevel, coarsen, contract
+from .initial import greedy_bisection, recursive_bisection
+from .kway import MetisLikePartitioner
+from .matching import heavy_edge_matching, random_matching
+from .refine import fm_refine, move_gains, rebalance
+
+__all__ = [
+    "CoarseLevel",
+    "MetisLikePartitioner",
+    "coarsen",
+    "contract",
+    "fm_refine",
+    "greedy_bisection",
+    "heavy_edge_matching",
+    "move_gains",
+    "random_matching",
+    "rebalance",
+    "recursive_bisection",
+]

@@ -1,0 +1,252 @@
+"""Processor network graphs.
+
+PaGrid (unlike Metis) partitions *onto a machine*: it takes a weighted
+processor network graph describing the target architecture -- processor
+speeds on the vertices and communication costs on the links ([WA04]'s "grid
+format").  The paper used a hypercube processor graph for its Origin-2000
+runs.  The platform's dynamic load balancer also builds a (run-time,
+measurement-weighted) processor graph each time it is invoked.
+
+:class:`ProcessorGraph` covers both uses: static architecture descriptions
+(hypercube / mesh / heterogeneous grids) with all-pairs distances, and the
+grid-format text round-trip.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["ProcessorGraph"]
+
+
+class ProcessorGraph:
+    """A weighted graph over processors ``0..p-1``.
+
+    Args:
+        nprocs: Number of processors.
+        edges: Iterable of ``(i, j, cost)`` communication links; cost is the
+            relative per-unit communication expense of the link (1.0 =
+            nominal).  Links are undirected.
+        speeds: Relative processor speeds (higher = faster); default 1.0.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        edges: Iterable[tuple[int, int, float]],
+        speeds: Sequence[float] | None = None,
+    ) -> None:
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        self.nprocs = nprocs
+        if speeds is None:
+            self._speeds = [1.0] * nprocs
+        else:
+            if len(speeds) != nprocs:
+                raise ValueError(f"speeds has {len(speeds)} entries for {nprocs} procs")
+            if any(s <= 0 for s in speeds):
+                raise ValueError("processor speeds must be positive")
+            self._speeds = list(speeds)
+        self._cost: dict[tuple[int, int], float] = {}
+        self._adj: list[set[int]] = [set() for _ in range(nprocs)]
+        for i, j, cost in edges:
+            if not (0 <= i < nprocs and 0 <= j < nprocs):
+                raise ValueError(f"link ({i}, {j}) outside [0, {nprocs})")
+            if i == j:
+                raise ValueError(f"self-link on processor {i}")
+            if cost <= 0:
+                raise ValueError(f"link cost must be positive, got {cost}")
+            key = (min(i, j), max(i, j))
+            self._cost[key] = float(cost)
+            self._adj[i].add(j)
+            self._adj[j].add(i)
+        self._dist: list[list[float]] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Presets
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def hypercube(cls, nprocs: int, link_cost: float = 1.0) -> "ProcessorGraph":
+        """A hypercube of ``nprocs`` (power of two) processors.
+
+        This models the Origin-2000's hypercube interconnect used for the
+        paper's PaGrid runs.
+        """
+        if nprocs < 1 or nprocs & (nprocs - 1):
+            raise ValueError(f"hypercube size must be a power of two, got {nprocs}")
+        edges = []
+        bit = 1
+        while bit < nprocs:
+            for i in range(nprocs):
+                j = i ^ bit
+                if i < j:
+                    edges.append((i, j, link_cost))
+            bit <<= 1
+        return cls(nprocs, edges)
+
+    @classmethod
+    def mesh(cls, rows: int, cols: int, link_cost: float = 1.0) -> "ProcessorGraph":
+        """A rows x cols processor mesh."""
+        if rows < 1 or cols < 1:
+            raise ValueError("mesh must be at least 1x1")
+        edges = []
+        for r in range(rows):
+            for c in range(cols):
+                i = r * cols + c
+                if c + 1 < cols:
+                    edges.append((i, i + 1, link_cost))
+                if r + 1 < rows:
+                    edges.append((i, i + cols, link_cost))
+        return cls(rows * cols, edges)
+
+    @classmethod
+    def fully_connected(cls, nprocs: int, link_cost: float = 1.0) -> "ProcessorGraph":
+        """Uniform all-to-all interconnect (what Metis implicitly assumes)."""
+        edges = [
+            (i, j, link_cost) for i in range(nprocs) for j in range(i + 1, nprocs)
+        ]
+        return cls(nprocs, edges)
+
+    @classmethod
+    def heterogeneous_grid(
+        cls,
+        cluster_sizes: Sequence[int],
+        intra_cost: float = 1.0,
+        inter_cost: float = 10.0,
+        speeds: Sequence[float] | None = None,
+    ) -> "ProcessorGraph":
+        """Clusters of processors: cheap links inside, expensive between.
+
+        Models the computational grids PaGrid targets ([HAB06]).
+        """
+        nprocs = sum(cluster_sizes)
+        edges: list[tuple[int, int, float]] = []
+        heads: list[int] = []
+        offset = 0
+        for size in cluster_sizes:
+            if size < 1:
+                raise ValueError("cluster sizes must be >= 1")
+            members = list(range(offset, offset + size))
+            heads.append(members[0])
+            for a in range(len(members)):
+                for b in range(a + 1, len(members)):
+                    edges.append((members[a], members[b], intra_cost))
+            offset += size
+        for a in range(len(heads)):
+            for b in range(a + 1, len(heads)):
+                edges.append((heads[a], heads[b], inter_cost))
+        return cls(nprocs, edges, speeds=speeds)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    def speed(self, proc: int) -> float:
+        """Relative speed of ``proc``."""
+        self._check(proc)
+        return self._speeds[proc]
+
+    @property
+    def speeds(self) -> tuple[float, ...]:
+        """All processor speeds."""
+        return tuple(self._speeds)
+
+    def neighbors(self, proc: int) -> tuple[int, ...]:
+        """Directly linked processors."""
+        self._check(proc)
+        return tuple(sorted(self._adj[proc]))
+
+    def has_link(self, i: int, j: int) -> bool:
+        """Whether a direct link exists."""
+        self._check(i)
+        self._check(j)
+        return j in self._adj[i]
+
+    def link_cost(self, i: int, j: int) -> float:
+        """Cost of the direct link; raises if absent."""
+        if not self.has_link(i, j):
+            raise KeyError(f"no link ({i}, {j})")
+        return self._cost[(min(i, j), max(i, j))]
+
+    def links(self) -> list[tuple[int, int, float]]:
+        """All undirected links as ``(i, j, cost)`` with ``i < j``."""
+        return [(i, j, c) for (i, j), c in sorted(self._cost.items())]
+
+    def _check(self, proc: int) -> None:
+        if not 0 <= proc < self.nprocs:
+            raise KeyError(f"processor {proc} outside [0, {self.nprocs})")
+
+    # ------------------------------------------------------------------ #
+    # Distances (Floyd-Warshall over link costs, cached)
+    # ------------------------------------------------------------------ #
+
+    def distance(self, i: int, j: int) -> float:
+        """Cheapest-path communication cost between ``i`` and ``j``.
+
+        Unreachable pairs report ``inf``; PaGrid-style mapping treats that as
+        a hard wall.
+        """
+        self._check(i)
+        self._check(j)
+        if self._dist is None:
+            self._dist = self._all_pairs()
+        return self._dist[i][j]
+
+    def _all_pairs(self) -> list[list[float]]:
+        inf = float("inf")
+        p = self.nprocs
+        dist = [[inf] * p for _ in range(p)]
+        for i in range(p):
+            dist[i][i] = 0.0
+        for (i, j), cost in self._cost.items():
+            dist[i][j] = min(dist[i][j], cost)
+            dist[j][i] = min(dist[j][i], cost)
+        for k in range(p):
+            dk = dist[k]
+            for i in range(p):
+                dik = dist[i][k]
+                if dik == inf:
+                    continue
+                di = dist[i]
+                for j in range(p):
+                    alt = dik + dk[j]
+                    if alt < di[j]:
+                        di[j] = alt
+        return dist
+
+    # ------------------------------------------------------------------ #
+    # Grid-format text I/O ([WA04] style)
+    # ------------------------------------------------------------------ #
+
+    def to_grid_format(self) -> str:
+        """Render as grid-format text.
+
+        Line 1: ``<nprocs> <nlinks>``.  Next ``nprocs`` lines: processor
+        speeds.  Remaining lines: ``<i> <j> <cost>`` per link.
+        """
+        lines = [f"{self.nprocs} {len(self._cost)}"]
+        lines += [f"{s:g}" for s in self._speeds]
+        lines += [f"{i} {j} {c:g}" for i, j, c in self.links()]
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_grid_format(cls, text: str) -> "ProcessorGraph":
+        """Parse grid-format text produced by :meth:`to_grid_format`."""
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        if not lines:
+            raise ValueError("empty grid-format input")
+        header = lines[0].split()
+        nprocs, nlinks = int(header[0]), int(header[1])
+        expected = 1 + nprocs + nlinks
+        if len(lines) != expected:
+            raise ValueError(f"grid format promises {expected} lines, found {len(lines)}")
+        speeds = [float(lines[1 + k]) for k in range(nprocs)]
+        edges = []
+        for ln in lines[1 + nprocs:]:
+            i, j, c = ln.split()
+            edges.append((int(i), int(j), float(c)))
+        return cls(nprocs, edges, speeds=speeds)
+
+    def __repr__(self) -> str:
+        return f"ProcessorGraph(nprocs={self.nprocs}, links={len(self._cost)})"

@@ -1,0 +1,132 @@
+"""Baseline partitioners: round-robin, random, and BFS-greedy growing.
+
+These are not in the paper's evaluation but serve as reference points in the
+test suite and ablation benches (a good partitioner must beat them), and
+BFS-greedy doubles as the initial-partition fallback of the multilevel code.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from ..graphs.graph import Graph
+from .base import Partition, Partitioner
+
+__all__ = ["RoundRobinPartitioner", "RandomPartitioner", "BfsGreedyPartitioner"]
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Node ``gid`` goes to processor ``(gid - 1) % nparts``.
+
+    Maximally scatters the graph; on meshes this is close to the worst
+    possible edge cut, making it a useful upper baseline.
+    """
+
+    name = "roundrobin"
+
+    def partition(self, graph: Graph, nparts: int) -> Partition:
+        self._check_nparts(graph, nparts)
+        if (trivial := self._trivial(graph, nparts)) is not None:
+            return trivial
+        assignment = [(gid - 1) % nparts for gid in graph.nodes()]
+        return Partition.from_assignment(graph, assignment, nparts, method=self.name)
+
+
+class RandomPartitioner(Partitioner):
+    """Uniformly random assignment (seeded, with approximate balance).
+
+    Nodes are shuffled and dealt out in equal-size blocks, so the partition
+    is balanced in node count but random in shape.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def partition(self, graph: Graph, nparts: int) -> Partition:
+        self._check_nparts(graph, nparts)
+        if (trivial := self._trivial(graph, nparts)) is not None:
+            return trivial
+        rng = random.Random(self.seed)
+        order = list(graph.nodes())
+        rng.shuffle(order)
+        assignment = [0] * graph.num_nodes
+        for idx, gid in enumerate(order):
+            assignment[gid - 1] = idx * nparts // graph.num_nodes
+        return Partition.from_assignment(graph, assignment, nparts, method=self.name)
+
+
+class BfsGreedyPartitioner(Partitioner):
+    """Grow contiguous, weight-balanced regions by breadth-first search.
+
+    Seeds each part at the unassigned node of largest degree, then absorbs
+    BFS frontier nodes until the part reaches its share of the total node
+    weight.  Produces connected parts on connected graphs -- a solid cheap
+    baseline and the coarsest-level seed partition for the multilevel code.
+    """
+
+    name = "bfsgreedy"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def partition(self, graph: Graph, nparts: int) -> Partition:
+        self._check_nparts(graph, nparts)
+        if (trivial := self._trivial(graph, nparts)) is not None:
+            return trivial
+        n = graph.num_nodes
+        total = graph.total_node_weight()
+        assignment = [-1] * n
+        unassigned = set(graph.nodes())
+        remaining_weight = total
+
+        for part in range(nparts):
+            if not unassigned:
+                break
+            parts_left = nparts - part
+            target = remaining_weight / parts_left
+            load = 0
+            queue: deque[int] = deque()
+            queued: set[int] = set()
+            while unassigned and load < target and parts_left > 1:
+                if not queue:
+                    # Seed (or reseed after exhausting a region) at the
+                    # highest-degree unassigned node; the seed is always
+                    # absorbed, which guarantees forward progress.
+                    seed_node = max(unassigned, key=lambda g: (graph.degree(g), -g))
+                    gid = seed_node
+                    force = True
+                else:
+                    gid = queue.popleft()
+                    force = False
+                    if assignment[gid - 1] != -1:
+                        continue
+                w = graph.node_weight(gid)
+                if not force and load > 0 and load + w > target * 1.15:
+                    continue  # would overfill noticeably; leave for later parts
+                assignment[gid - 1] = part
+                unassigned.discard(gid)
+                load += w
+                remaining_weight -= w
+                for v in graph.neighbors(gid):
+                    if assignment[v - 1] == -1 and v not in queued:
+                        queue.append(v)
+                        queued.add(v)
+            if parts_left == 1:
+                for gid in list(unassigned):
+                    assignment[gid - 1] = part
+                    remaining_weight -= graph.node_weight(gid)
+                unassigned.clear()
+        # Safety: any stragglers go to the least-loaded part.
+        if unassigned:
+            loads = [0] * nparts
+            for gid in graph.nodes():
+                if assignment[gid - 1] != -1:
+                    loads[assignment[gid - 1]] += graph.node_weight(gid)
+            for gid in sorted(unassigned):
+                part = loads.index(min(loads))
+                assignment[gid - 1] = part
+                loads[part] += graph.node_weight(gid)
+        return Partition.from_assignment(graph, assignment, nparts, method=self.name)

@@ -1,0 +1,123 @@
+"""Recursive spectral bisection.
+
+Not part of the paper's evaluation, but a classical baseline the test-bed
+goal (Goal 3) calls for: partition-algorithm designers should be able to
+plug in alternatives and compare.  Bisection uses the Fiedler vector of the
+(weighted) graph Laplacian; k-way partitions come from recursion with a
+median split, followed by the shared FM refinement for polish.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from .base import Partition, Partitioner
+from .multilevel.refine import fm_refine, rebalance
+
+__all__ = ["SpectralPartitioner", "fiedler_vector"]
+
+#: Above this size, use scipy's sparse Lanczos solver instead of dense numpy.
+_DENSE_LIMIT = 600
+
+
+def fiedler_vector(graph: Graph) -> np.ndarray:
+    """The eigenvector of the second-smallest Laplacian eigenvalue.
+
+    For disconnected graphs the vector separates components, which still
+    produces a usable (if trivial) split.
+    """
+    n = graph.num_nodes
+    if n < 2:
+        raise ValueError("fiedler_vector needs at least 2 nodes")
+    if n <= _DENSE_LIMIT:
+        lap = np.zeros((n, n))
+        for u, v in graph.edges():
+            w = graph.edge_weight(u, v)
+            lap[u - 1, v - 1] -= w
+            lap[v - 1, u - 1] -= w
+            lap[u - 1, u - 1] += w
+            lap[v - 1, v - 1] += w
+        _, vecs = np.linalg.eigh(lap)
+        return vecs[:, 1]
+    import scipy.sparse as sp
+    import scipy.sparse.linalg as spla
+
+    rows, cols, vals = [], [], []
+    deg = np.zeros(n)
+    for u, v in graph.edges():
+        w = float(graph.edge_weight(u, v))
+        rows += [u - 1, v - 1]
+        cols += [v - 1, u - 1]
+        vals += [-w, -w]
+        deg[u - 1] += w
+        deg[v - 1] += w
+    rows += list(range(n))
+    cols += list(range(n))
+    vals += list(deg)
+    lap = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+    _, vecs = spla.eigsh(lap, k=2, which="SM")
+    return np.asarray(vecs[:, 1])
+
+
+class SpectralPartitioner(Partitioner):
+    """Recursive spectral bisection with FM polish.
+
+    Args:
+        seed: Seed for the refinement RNG.
+        refine: Run FM refinement after each bisection (default True).
+    """
+
+    name = "spectral"
+
+    def __init__(self, seed: int = 0, refine: bool = True) -> None:
+        self.seed = seed
+        self.refine = refine
+
+    def partition(self, graph: Graph, nparts: int) -> Partition:
+        self._check_nparts(graph, nparts)
+        if (trivial := self._trivial(graph, nparts)) is not None:
+            return trivial
+        rng = random.Random(self.seed)
+        assignment = [0] * graph.num_nodes
+
+        def split(node_gids: list[int], part_lo: int, part_hi: int) -> None:
+            count = part_hi - part_lo
+            if count == 1 or not node_gids:
+                for gid in node_gids:
+                    assignment[gid - 1] = part_lo
+                return
+            mid = part_lo + count // 2
+            frac = (mid - part_lo) / count
+            if len(node_gids) == 1:
+                assignment[node_gids[0] - 1] = part_lo
+                return
+            sub, remap = graph.subgraph(node_gids)
+            inverse = {new: old for old, new in remap.items()}
+            try:
+                fv = fiedler_vector(sub)
+            except Exception:
+                fv = np.arange(sub.num_nodes, dtype=float)  # fallback: id order
+            order = np.argsort(fv, kind="stable")
+            # Split at the weighted quantile so part sizes track targets.
+            weights = np.array([sub.node_weight(i + 1) for i in range(sub.num_nodes)])
+            cum = np.cumsum(weights[order])
+            total = cum[-1]
+            cutoff = int(np.searchsorted(cum, total * frac, side="left")) + 1
+            cutoff = min(max(cutoff, 1), sub.num_nodes - 1)
+            local = [1] * sub.num_nodes
+            for pos in order[:cutoff]:
+                local[pos] = 0
+            if self.refine:
+                targets = [total * frac, total * (1 - frac)]
+                fm_refine(sub, local, 2, targets, rng)
+                rebalance(sub, local, 2, targets, rng)
+            left = [inverse[i + 1] for i in range(sub.num_nodes) if local[i] == 0]
+            right = [inverse[i + 1] for i in range(sub.num_nodes) if local[i] == 1]
+            split(left, part_lo, mid)
+            split(right, mid, part_hi)
+
+        split(list(graph.nodes()), 0, nparts)
+        return Partition.from_assignment(graph, assignment, nparts, method=self.name)

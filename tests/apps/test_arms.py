@@ -1,0 +1,155 @@
+"""Tests for the combined-arms battlefield variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.battlefield import (
+    ARMS,
+    ArmsHexState,
+    CombinedArmsApp,
+    CombinedArmsModel,
+    ForceMix,
+    opposing_arms_fronts,
+    simulate_arms_sequential,
+)
+from repro.core import ICPlatform
+from repro.graphs import HexGrid
+from repro.mpi import IDEAL
+from repro.partitioning import MetisLikePartitioner
+
+
+class TestForceMix:
+    def test_total(self):
+        assert ForceMix(1.0, 2.0, 3.0).total == 6.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ForceMix(armor=-1.0)
+
+    def test_arm_lookup(self):
+        mix = ForceMix(armor=1.0, infantry=2.0, artillery=3.0)
+        assert mix.arm("infantry") == 2.0
+        with pytest.raises(KeyError):
+            mix.arm("cavalry")
+
+    def test_scaled_and_plus(self):
+        mix = ForceMix(2.0, 4.0, 6.0)
+        assert mix.scaled(0.5) == ForceMix(1.0, 2.0, 3.0)
+        assert mix.plus(ForceMix(1.0, 1.0, 1.0)) == ForceMix(3.0, 5.0, 7.0)
+
+    def test_minus_clamped(self):
+        mix = ForceMix(1.0, 1.0, 1.0)
+        out = mix.minus_clamped(ForceMix(2.0, 0.5, 0.0))
+        assert out == ForceMix(0.0, 0.5, 1.0)
+
+    def test_firepower_conserves_magnitude(self):
+        """Total damage equals shooter strength times intensity (the matrix
+        only redistributes it across defending arms)."""
+        shooter = ForceMix(3.0, 4.0, 2.0)
+        target = ForceMix(1.0, 1.0, 1.0)
+        damage = shooter.firepower_against(target, intensity=0.5)
+        assert damage.total == pytest.approx(shooter.total * 0.5)
+
+    def test_firepower_against_empty_is_zero(self):
+        assert ForceMix(5.0, 5.0, 5.0).firepower_against(ForceMix()).total == 0.0
+
+    def test_effectiveness_skews_damage(self):
+        """Artillery shreds infantry: against an even mix, infantry takes
+        the largest share of pure-artillery fire."""
+        arty = ForceMix(artillery=10.0)
+        target = ForceMix(1.0, 1.0, 1.0)
+        damage = arty.firepower_against(target)
+        assert damage.infantry > damage.armor
+        assert damage.infantry > damage.artillery
+
+    def test_armor_overruns_artillery(self):
+        armor = ForceMix(armor=10.0)
+        target = ForceMix(1.0, 1.0, 1.0)
+        damage = armor.firepower_against(target)
+        assert damage.artillery == max(damage.armor, damage.infantry, damage.artillery)
+
+    def test_infantry_ambushes_armor(self):
+        infantry = ForceMix(infantry=10.0)
+        target = ForceMix(1.0, 1.0, 1.0)
+        damage = infantry.firepower_against(target)
+        assert damage.armor == max(damage.armor, damage.infantry, damage.artillery)
+
+
+class TestCombinedArmsModel:
+    def test_artillery_reaches_neighbors_at_full_power(self):
+        model = CombinedArmsModel(kill_rate=1.0, adjacent_intensity=0.5)
+        own = ArmsHexState(gid=1, red=ForceMix(infantry=1.0))
+        arty_neighbor = ArmsHexState(gid=2, blue=ForceMix(artillery=4.0))
+        gun_neighbor = ArmsHexState(gid=3, blue=ForceMix(armor=4.0))
+        damage_arty, _ = model.incoming(own, [arty_neighbor])
+        damage_armor, _ = model.incoming(own, [gun_neighbor])
+        # same shooter strength, but artillery ignores range attenuation
+        assert damage_arty.total == pytest.approx(2 * damage_armor.total)
+
+    def test_kill_rate_bounds(self):
+        with pytest.raises(ValueError):
+            CombinedArmsModel(kill_rate=2.0)
+
+    def test_no_fire_without_defenders(self):
+        model = CombinedArmsModel()
+        own = ArmsHexState(gid=1)
+        neighbor = ArmsHexState(gid=2, blue=ForceMix(armor=5.0))
+        damage_red, damage_blue = model.incoming(own, [neighbor])
+        assert damage_red.total == 0.0
+        assert damage_blue.total == 0.0
+
+
+@pytest.fixture(scope="module")
+def arms_app():
+    states, grid = opposing_arms_fronts(grid=HexGrid(8, 8), depth=3)
+    return CombinedArmsApp(states, grid)
+
+
+class TestCombinedArmsSimulation:
+    def test_conservation_before_contact(self, arms_app):
+        r0, b0 = ArmsHexState.totals(arms_app.initial.values())
+        states = simulate_arms_sequential(arms_app, 1)
+        r, b = ArmsHexState.totals(states.values())
+        assert r == pytest.approx(r0)
+        assert b == pytest.approx(b0)
+
+    def test_attrition_when_engaged(self, arms_app):
+        r0, b0 = ArmsHexState.totals(arms_app.initial.values())
+        states = simulate_arms_sequential(arms_app, 15)
+        r, b = ArmsHexState.totals(states.values())
+        assert r < r0
+        assert b < b0
+
+    def test_armor_leads_the_advance(self, arms_app):
+        """Higher mobility means armor concentrates at the front."""
+        states = simulate_arms_sequential(arms_app, 3)
+        grid = arms_app.grid
+        # eastmost red-occupied column
+        red_cols = [
+            grid.rc(gid)[1] for gid, s in states.items() if s.red.total > 0.01
+        ]
+        tip = max(red_cols)
+        tip_mix = ForceMix()
+        for gid, s in states.items():
+            if grid.rc(gid)[1] == tip:
+                tip_mix = tip_mix.plus(s.red)
+        # armor share at the tip exceeds its share in the base mix (3/9)
+        assert tip_mix.armor / tip_mix.total > 3 / 9
+
+    @pytest.mark.parametrize("nprocs", [1, 2, 4])
+    def test_platform_equivalence(self, arms_app, nprocs):
+        graph = arms_app.graph()
+        partition = MetisLikePartitioner(seed=0).partition(graph, nprocs)
+        platform = ICPlatform(
+            graph,
+            arms_app.node_fns(),
+            init_value=arms_app.init_value,
+            config=arms_app.platform_config(steps=5),
+        )
+        result = platform.run(partition, machine=IDEAL)
+        assert result.values == simulate_arms_sequential(arms_app, 5)
+
+    def test_deployment_validation(self):
+        with pytest.raises(ValueError):
+            opposing_arms_fronts(grid=HexGrid(4, 4), depth=3)

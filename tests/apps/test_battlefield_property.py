@@ -1,0 +1,83 @@
+"""Property-based battlefield tests: conservation and platform equivalence
+over randomized scenarios."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.battlefield import (
+    BattlefieldApp,
+    CombatModel,
+    HexState,
+    MovementModel,
+    Scenario,
+    simulate_sequential,
+)
+from repro.core import ICPlatform
+from repro.graphs import HexGrid
+from repro.mpi import IDEAL
+from repro.partitioning import MetisLikePartitioner
+
+
+@st.composite
+def random_scenarios(draw):
+    rows = draw(st.integers(min_value=3, max_value=6))
+    cols = draw(st.integers(min_value=3, max_value=6))
+    grid = HexGrid(rows, cols)
+    states = {}
+    for gid in range(1, grid.num_cells + 1):
+        red = draw(st.sampled_from([0.0, 0.0, 2.0, 5.0, 9.0]))
+        blue = draw(st.sampled_from([0.0, 0.0, 2.0, 5.0, 9.0]))
+        states[gid] = HexState(gid=gid, red=red, blue=blue)
+    return Scenario("random", grid, states)
+
+
+@st.composite
+def doctrines(draw):
+    return (
+        CombatModel(
+            kill_rate=draw(st.sampled_from([0.02, 0.05, 0.15])),
+            adjacent_intensity=draw(st.sampled_from([0.25, 0.5, 1.0])),
+        ),
+        MovementModel(
+            advance_fraction=draw(st.sampled_from([0.25, 0.5, 0.75])),
+            retreat_ratio=draw(st.sampled_from([2.0, 3.0, 5.0])),
+        ),
+    )
+
+
+@given(random_scenarios(), doctrines(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=25, deadline=None)
+def test_strength_plus_destroyed_is_invariant(scenario, doctrine, steps):
+    combat, movement = doctrine
+    app = BattlefieldApp(scenario, combat=combat, movement=movement)
+    red0, blue0 = scenario.total_strengths()
+    states = simulate_sequential(app, steps)
+    red, blue = HexState.total_strengths(states.values())
+    destroyed_red = sum(s.destroyed_red for s in states.values())
+    destroyed_blue = sum(s.destroyed_blue for s in states.values())
+    assert red + destroyed_red == pytest.approx(red0, abs=1e-9)
+    assert blue + destroyed_blue == pytest.approx(blue0, abs=1e-9)
+    assert all(s.red >= 0 and s.blue >= 0 for s in states.values())
+
+
+@given(
+    random_scenarios(),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=12, deadline=None)
+def test_platform_equals_sequential_on_random_scenarios(scenario, steps, nprocs):
+    app = BattlefieldApp(scenario)
+    graph = app.graph()
+    partition = MetisLikePartitioner(seed=0, trials=1).partition(graph, nprocs)
+    platform = ICPlatform(
+        graph,
+        app.node_fns(),
+        init_value=app.init_value,
+        config=app.platform_config(steps=steps),
+    )
+    result = platform.run(partition, machine=IDEAL)
+    assert result.values == simulate_sequential(app, steps)

@@ -1,0 +1,137 @@
+"""Integration tests for the battlefield simulator: sequential reference vs
+platform execution, conservation laws, and battle dynamics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.battlefield import (
+    BattlefieldApp,
+    CombatModel,
+    HexState,
+    general_engagement,
+    opposing_fronts,
+    simulate_sequential,
+)
+from repro.core import ICPlatform
+from repro.graphs import HexGrid
+from repro.mpi import IDEAL
+from repro.partitioning import MetisLikePartitioner, RowBandPartitioner
+
+
+@pytest.fixture(scope="module")
+def small_app() -> BattlefieldApp:
+    """An 8x8 battlefield (fast enough for many-proc equivalence tests)."""
+    return BattlefieldApp(
+        opposing_fronts(grid=HexGrid(8, 8), depth=3, strength_per_hex=6.0)
+    )
+
+
+class TestSequentialReference:
+    def test_states_advance_steps(self, small_app):
+        states = simulate_sequential(small_app, 4)
+        assert all(s.step == 4 for s in states.values())
+
+    def test_conservation_before_contact(self, small_app):
+        """Until fronts collide, total strength is exactly conserved."""
+        initial_red, initial_blue = small_app.scenario.total_strengths()
+        states = simulate_sequential(small_app, 1)
+        red, blue = HexState.total_strengths(states.values())
+        assert red == pytest.approx(initial_red)
+        assert blue == pytest.approx(initial_blue)
+
+    def test_strength_plus_destroyed_is_invariant(self, small_app):
+        """Strength never appears or vanishes: survivors + destroyed ==
+        deployed, at every step."""
+        initial_red, initial_blue = small_app.scenario.total_strengths()
+        for steps in (2, 5, 9):
+            states = simulate_sequential(small_app, steps)
+            red, blue = HexState.total_strengths(states.values())
+            destroyed_red = sum(s.destroyed_red for s in states.values())
+            destroyed_blue = sum(s.destroyed_blue for s in states.values())
+            assert red + destroyed_red == pytest.approx(initial_red)
+            assert blue + destroyed_blue == pytest.approx(initial_blue)
+
+    def test_combat_eventually_happens(self, small_app):
+        states = simulate_sequential(small_app, 12)
+        destroyed = sum(s.destroyed_red + s.destroyed_blue for s in states.values())
+        assert destroyed > 0
+
+    def test_fronts_advance_toward_center(self, small_app):
+        grid = small_app.scenario.grid
+        states = simulate_sequential(small_app, 3)
+        red_cols = [
+            grid.rc(gid)[1] for gid, s in states.items() if s.red > 0.01
+        ]
+        assert max(red_cols) > 2  # red started in cols 0-2
+
+    def test_strengths_never_negative(self, small_app):
+        states = simulate_sequential(small_app, 15)
+        assert all(s.red >= 0 and s.blue >= 0 for s in states.values())
+
+    def test_general_engagement_burns_down_fast(self):
+        app = BattlefieldApp(
+            general_engagement(grid=HexGrid(8, 8), strength_per_hex=7.5)
+        )
+        initial = sum(app.scenario.total_strengths())
+        after = sum(
+            HexState.total_strengths(simulate_sequential(app, 10).values())
+        )
+        assert after < 0.5 * initial
+
+
+class TestPlatformEquivalence:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 7])
+    def test_platform_matches_sequential(self, small_app, nprocs):
+        graph = small_app.graph()
+        partition = MetisLikePartitioner(seed=0).partition(graph, nprocs)
+        platform = ICPlatform(
+            graph,
+            small_app.node_fns(),
+            init_value=small_app.init_value,
+            config=small_app.platform_config(steps=6),
+        )
+        result = platform.run(partition, machine=IDEAL)
+        expected = simulate_sequential(small_app, 6)
+        assert result.values == expected
+
+    def test_partitioner_choice_does_not_change_results(self, small_app):
+        graph = small_app.graph()
+        metis = MetisLikePartitioner(seed=0).partition(graph, 4)
+        rows = RowBandPartitioner(8, 8).partition(graph, 4)
+        make = lambda: ICPlatform(
+            graph,
+            small_app.node_fns(),
+            init_value=small_app.init_value,
+            config=small_app.platform_config(steps=5),
+        )
+        a = make().run(metis, machine=IDEAL)
+        b = make().run(rows, machine=IDEAL)
+        assert a.values == b.values
+
+    def test_compute_load_concentrates_in_combat_zone(self, small_app):
+        """The thesis's premise: combat zones make load spatially uneven."""
+        states = simulate_sequential(small_app, 8)
+        costs = [small_app.costs.combat_per_strength * s.total for s in states.values()]
+        costs.sort()
+        # busiest quartile >> quietest quartile
+        quarter = len(costs) // 4
+        assert sum(costs[-quarter:]) > 3 * sum(costs[:quarter])
+
+
+class TestBattleDynamics:
+    def test_higher_kill_rate_more_destruction(self):
+        grid = HexGrid(8, 8)
+        totals = []
+        for kill in (0.02, 0.3):
+            app = BattlefieldApp(
+                general_engagement(grid=grid, strength_per_hex=6.0),
+                combat=CombatModel(kill_rate=kill),
+            )
+            states = simulate_sequential(app, 6)
+            totals.append(sum(HexState.total_strengths(states.values())))
+        assert totals[1] < totals[0]
+
+    def test_departures_cleared_after_movement_round(self, small_app):
+        states = simulate_sequential(small_app, 3)
+        assert all(s.departures == () for s in states.values())

@@ -1,0 +1,104 @@
+"""Tests for the dynamic load-imbalance schedules (Figure 23)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import PAPER_SCHEDULE, ImbalanceSchedule
+from repro.apps.average import COARSE_GRAIN, FINE_GRAIN
+
+
+class TestScheduleValidation:
+    def test_windows_must_increase(self):
+        with pytest.raises(ValueError):
+            ImbalanceSchedule(windows=((10, 0.0, 0.5), (10, 0.25, 0.75)))
+
+    def test_fractions_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            ImbalanceSchedule(windows=((10, 0.7, 0.5),))
+
+    def test_fractions_must_be_in_unit_range(self):
+        with pytest.raises(ValueError):
+            ImbalanceSchedule(windows=((10, -0.1, 0.5),))
+        with pytest.raises(ValueError):
+            ImbalanceSchedule(windows=((10, 0.5, 1.2),))
+
+    def test_negative_grain_rejected(self):
+        with pytest.raises(ValueError):
+            ImbalanceSchedule(windows=((10, 0.0, 0.5),), heavy_grain=-1.0)
+
+
+class TestPaperSchedule:
+    """The Figure-23 rolling 50 % window."""
+
+    def test_window1_first_half_heavy(self):
+        n = 64
+        assert PAPER_SCHEDULE.is_heavy(1, 5, n)
+        assert PAPER_SCHEDULE.is_heavy(32, 10, n)
+        assert not PAPER_SCHEDULE.is_heavy(33, 5, n)
+
+    def test_window2_middle_heavy(self):
+        n = 64
+        assert not PAPER_SCHEDULE.is_heavy(15, 15, n)
+        assert PAPER_SCHEDULE.is_heavy(16, 15, n)
+        assert PAPER_SCHEDULE.is_heavy(48, 20, n)
+        assert not PAPER_SCHEDULE.is_heavy(49, 15, n)
+
+    def test_window3_last_half_heavy(self):
+        n = 64
+        assert PAPER_SCHEDULE.is_heavy(64, 25, n)
+        assert not PAPER_SCHEDULE.is_heavy(31, 25, n)
+
+    def test_past_all_windows_everything_light(self):
+        assert not PAPER_SCHEDULE.is_heavy(1, 31, 64)
+        assert not PAPER_SCHEDULE.is_heavy(64, 99, 64)
+
+    def test_window_rolls(self):
+        """A node in the first quarter is heavy early and light later."""
+        n = 64
+        assert PAPER_SCHEDULE.is_heavy(10, 5, n)
+        assert not PAPER_SCHEDULE.is_heavy(10, 15, n)
+
+    def test_heavy_count_roughly_half(self):
+        for iteration in (5, 15, 25):
+            count = PAPER_SCHEDULE.heavy_count(iteration, 64)
+            assert 30 <= count <= 34
+
+    def test_grain_values(self):
+        assert PAPER_SCHEDULE.grain(1, 5, 64) == COARSE_GRAIN
+        assert PAPER_SCHEDULE.grain(64, 5, 64) == FINE_GRAIN
+
+
+class TestCustomSchedule:
+    def test_persistent_window(self):
+        sched = ImbalanceSchedule(windows=((10**6, 0.0, 0.25),))
+        assert sched.is_heavy(1, 999, 100)
+        assert not sched.is_heavy(26, 999, 100)
+
+    def test_custom_grains(self):
+        sched = ImbalanceSchedule(
+            windows=((10, 0.0, 1.0),), heavy_grain=1.0, light_grain=0.5
+        )
+        assert sched.grain(1, 1, 4) == 1.0
+        assert sched.grain(1, 11, 4) == 0.5
+
+
+class TestNodeFn:
+    def test_imbalanced_fn_charges_by_schedule(self):
+        from repro.apps import make_imbalanced_average_fn
+        from repro.core import NodeView
+
+        class Ctx:
+            num_nodes = 64
+            charged = 0.0
+
+            def work(self, seconds):
+                self.charged += seconds
+
+        fn = make_imbalanced_average_fn(PAPER_SCHEDULE)
+        ctx = Ctx()
+        fn(NodeView(global_id=1, value=0.0, neighbors=(), iteration=5), ctx)
+        assert ctx.charged == COARSE_GRAIN
+        ctx.charged = 0.0
+        fn(NodeView(global_id=60, value=0.0, neighbors=(), iteration=5), ctx)
+        assert ctx.charged == FINE_GRAIN

@@ -1,0 +1,88 @@
+"""Tests for battlefield map rendering and analytics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.battlefield import (
+    BattlefieldApp,
+    HexState,
+    combat_report,
+    front_line,
+    opposing_fronts,
+    render_map,
+    simulate_sequential,
+)
+from repro.graphs import HexGrid
+
+
+@pytest.fixture(scope="module")
+def mid_battle():
+    app = BattlefieldApp(
+        opposing_fronts(grid=HexGrid(8, 8), depth=3, strength_per_hex=6.0)
+    )
+    return app, simulate_sequential(app, 10)
+
+
+class TestRenderMap:
+    def test_dimensions(self, mid_battle):
+        app, states = mid_battle
+        lines = render_map(app.scenario.grid, states).splitlines()
+        assert len(lines) == 8
+        # odd rows are indented half a hex
+        assert lines[1].startswith(" ")
+        assert not lines[0].startswith(" ")
+
+    def test_glyph_vocabulary(self, mid_battle):
+        app, states = mid_battle
+        text = render_map(app.scenario.grid, states)
+        assert set(text) <= set(". rRMbBWx\n")
+
+    def test_sides_on_their_sides(self):
+        app = BattlefieldApp(
+            opposing_fronts(grid=HexGrid(4, 8), depth=2, strength_per_hex=6.0)
+        )
+        text = render_map(app.scenario.grid, app.scenario.initial)
+        rows = text.splitlines()
+        for row in rows:
+            cells = row.split()
+            red_side = "".join(cells[:2])
+            blue_side = "".join(cells[-2:])
+            assert set(red_side) <= set("rRMx")
+            assert set(blue_side) <= set("bBWx")
+
+    def test_empty_board(self):
+        grid = HexGrid(3, 3)
+        states = {gid: HexState(gid=gid) for gid in range(1, 10)}
+        text = render_map(grid, states)
+        assert set(text) <= set(". \n")
+
+
+class TestAnalytics:
+    def test_front_line_contested_only(self, mid_battle):
+        app, states = mid_battle
+        front = front_line(app.scenario.grid, states)
+        for row, col in front:
+            assert states[app.scenario.grid.gid(row, col)].contested
+
+    def test_combat_report_consistency(self, mid_battle):
+        app, states = mid_battle
+        report = combat_report(app.scenario.grid, states)
+        red0, blue0 = app.scenario.total_strengths()
+        assert report["red"] + report["destroyed_red"] == pytest.approx(red0)
+        assert report["blue"] + report["destroyed_blue"] == pytest.approx(blue0)
+        assert report["contested_hexes"] == len(front_line(app.scenario.grid, states))
+
+    def test_front_extent_spans_the_line(self, mid_battle):
+        app, states = mid_battle
+        report = combat_report(app.scenario.grid, states)
+        if report["contested_hexes"] >= 2:
+            # front stretches across most of the 8 rows
+            assert report["front_extent"] >= 4
+
+    def test_no_combat_no_front(self):
+        grid = HexGrid(3, 3)
+        states = {gid: HexState(gid=gid, red=1.0) for gid in range(1, 10)}
+        report = combat_report(grid, states)
+        assert report["contested_hexes"] == 0
+        assert report["front_extent"] == 0

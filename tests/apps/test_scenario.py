@@ -1,0 +1,91 @@
+"""Tests for battlefield scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.battlefield import (
+    general_engagement,
+    meeting_engagement,
+    opposing_fronts,
+    single_combat_zone,
+)
+from repro.graphs import HexGrid
+
+
+class TestOpposingFronts:
+    def test_default_dimensions(self):
+        s = opposing_fronts()
+        assert s.grid.num_cells == 1024
+        assert len(s.initial) == 1024
+
+    def test_sides_separated(self):
+        s = opposing_fronts(depth=8, strength_per_hex=8.0)
+        grid = s.grid
+        for gid, state in s.initial.items():
+            _, col = grid.rc(gid)
+            if col < 8:
+                assert state.red == 8.0 and state.blue == 0.0
+            elif col >= 24:
+                assert state.blue == 8.0 and state.red == 0.0
+            else:
+                assert state.total == 0.0
+
+    def test_totals_balanced(self):
+        s = opposing_fronts()
+        red, blue = s.total_strengths()
+        assert red == blue > 0
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            opposing_fronts(grid=HexGrid(8, 8), depth=5)
+
+    def test_init_value_plugin(self):
+        s = opposing_fronts()
+        assert s.init_value(1).gid == 1
+
+
+class TestGeneralEngagement:
+    def test_interleaved_columns(self):
+        s = general_engagement(grid=HexGrid(4, 6), strength_per_hex=5.0)
+        for gid, state in s.initial.items():
+            _, col = s.grid.rc(gid)
+            if col % 2 == 0:
+                assert state.red == 5.0
+            else:
+                assert state.blue == 5.0
+
+    def test_everyone_in_contact(self):
+        """Every deployed hex sees the enemy one hop away at step 0."""
+        s = general_engagement(grid=HexGrid(6, 6))
+        grid = s.grid
+        for gid, state in s.initial.items():
+            row, col = grid.rc(gid)
+            enemy = "blue" if state.red > 0 else "red"
+            visible = any(
+                getattr(s.initial[grid.gid(nr, nc)], enemy) > 0
+                for nr, nc in grid.neighbor_cells(row, col)
+            )
+            assert visible
+
+    def test_totals_balanced_on_even_columns(self):
+        s = general_engagement()
+        red, blue = s.total_strengths()
+        assert red == blue
+
+
+class TestOtherScenarios:
+    def test_meeting_engagement_two_columns(self):
+        s = meeting_engagement(grid=HexGrid(8, 16), gap=4)
+        occupied_cols = {
+            s.grid.rc(gid)[1]
+            for gid, state in s.initial.items()
+            if state.total > 0
+        }
+        assert len(occupied_cols) == 2
+
+    def test_single_combat_zone_concentrated(self):
+        s = single_combat_zone(grid=HexGrid(16, 16), zone_rows=4)
+        occupied = [gid for gid, st in s.initial.items() if st.total > 0]
+        assert all(s.grid.rc(gid)[0] < 4 for gid in occupied)
+        assert all(s.grid.rc(gid)[1] < 8 for gid in occupied)

@@ -1,0 +1,80 @@
+"""Tests for the cost-model calibration machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.calibration import (
+    CalibrationParam,
+    CalibrationProblem,
+    coordinate_descent,
+    evaluate,
+)
+
+
+@pytest.fixture(scope="module")
+def small_problem() -> CalibrationProblem:
+    """Tables 2/5 only, p in (1, 4): fast enough for the test suite."""
+    full = CalibrationProblem.tables_2_to_6(procs=(1, 4))
+    keep = ("table2_hex32", "table5_rand32")
+    return CalibrationProblem(
+        tables={k: full.tables[k] for k in keep},
+        graphs={k: full.graphs[k] for k in keep},
+        params=(
+            CalibrationParam("scan", (0.4e-6, 0.8e-6, 1.6e-6), "costs",
+                             ("data_scan_item_cost", "unpack_scan_item_cost")),
+        ),
+        base_machine=full.base_machine,
+        base_costs=full.base_costs,
+        iterations=(20,),
+        procs=(1, 4),
+    )
+
+
+class TestParamValidation:
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            CalibrationParam("x", (1.0,), "nowhere", ("latency",))
+
+    def test_empty_grid(self):
+        with pytest.raises(ValueError):
+            CalibrationParam("x", (), "machine", ("latency",))
+
+
+class TestApply:
+    def test_overrides_reach_targets(self, small_problem):
+        machine, costs = small_problem.apply({"scan": 9e-6})
+        assert costs.data_scan_item_cost == 9e-6
+        assert costs.unpack_scan_item_cost == 9e-6
+        assert machine is small_problem.base_machine  # untouched
+
+    def test_unknown_values_ignored(self, small_problem):
+        machine, costs = small_problem.apply({"other": 1.0})
+        assert costs == small_problem.base_costs
+
+
+class TestEvaluate:
+    def test_defaults_fit_well(self, small_problem):
+        """The shipped constants land under 15 % mean error on the subset."""
+        error = evaluate(small_problem, {"scan": 0.8e-6})
+        assert error < 0.15
+
+    def test_bad_constants_fit_badly(self, small_problem):
+        good = evaluate(small_problem, {"scan": 0.8e-6})
+        bad = evaluate(small_problem, {"scan": 20e-6})
+        assert bad > 2 * good
+
+
+class TestCoordinateDescent:
+    def test_finds_the_grid_optimum(self, small_problem):
+        grid = small_problem.params[0].grid
+        landscape = {v: evaluate(small_problem, {"scan": v}) for v in grid}
+        optimum = min(landscape, key=landscape.get)
+
+        trials: list[tuple[str, float, float]] = []
+        best, error = coordinate_descent(
+            small_problem, sweeps=2, on_step=lambda *a: trials.append(a)
+        )
+        assert best["scan"] == pytest.approx(optimum)
+        assert error == pytest.approx(landscape[optimum])
+        assert trials  # callback fired

@@ -1,0 +1,106 @@
+"""Smoke/shape tests for the experiment harness (small configurations so
+the suite stays fast; the full paper-scale runs live in benchmarks/)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    PERSISTENT_IMBALANCE,
+    hex_graph,
+    run_average_once,
+    run_battlefield_table,
+    run_hex_table,
+    run_metis_vs_pagrid,
+    run_overheads,
+    run_random_table,
+    run_speedup_figure,
+    run_static_vs_dynamic,
+)
+
+
+class TestHexGraphHelper:
+    @pytest.mark.parametrize("n", [32, 64, 96])
+    def test_sizes(self, n):
+        assert hex_graph(n).num_nodes == n
+
+    def test_rejects_other_sizes(self):
+        with pytest.raises(ValueError):
+            hex_graph(50)
+
+
+class TestRunAverageOnce:
+    def test_returns_platform_result(self):
+        result = run_average_once(hex_graph(32), 4, 5)
+        assert result.nprocs == 4
+        assert result.iterations == 5
+        assert result.elapsed > 0
+
+    def test_dynamic_flag(self):
+        result = run_average_once(hex_graph(32), 2, 10, dynamic=True)
+        assert result.elapsed > 0
+
+
+class TestTables:
+    def test_hex_table_shape(self):
+        table = run_hex_table(32, iterations_list=(5,), procs=(1, 2, 4))
+        assert list(table.rows) == [5]
+        assert len(table.rows[5]) == 3
+        assert table.rows[5][0] > table.rows[5][2]
+        assert table.experiment_id == "table2_hex32"
+        assert table.paper is not None
+
+    def test_random_table_averages_graphs(self):
+        table = run_random_table(32, iterations_list=(5,), procs=(1, 2), seeds=(0, 1))
+        assert len(table.rows[5]) == 2
+
+    def test_speedup_figure(self):
+        table = run_hex_table(32, iterations_list=(10,), procs=(1, 4))
+        fig = run_speedup_figure([table], iterations=10)
+        series = next(iter(fig.series.values()))
+        assert series[0] == pytest.approx(1.0)
+        assert series[1] > 1.5
+
+
+class TestMetisVsPagrid:
+    def test_four_series(self):
+        fig = run_metis_vs_pagrid(hex_graph(32), procs=(1, 4), iterations=5)
+        assert set(fig.series) == {
+            "fine-metis", "fine-pagrid", "coarse-metis", "coarse-pagrid"
+        }
+        # coarse grain scales better than fine for the same partitioner
+        assert fig.series["coarse-metis"][1] > fig.series["fine-metis"][1]
+
+
+class TestStaticVsDynamic:
+    def test_three_series_and_dynamic_wins_under_imbalance(self):
+        fig = run_static_vs_dynamic(
+            hex_graph(32), procs=(1, 4), iterations=40,
+            schedule=PERSISTENT_IMBALANCE,
+        )
+        assert set(fig.series) == {"static", "dynamic-centralized", "dynamic-greedy"}
+        assert fig.series["dynamic-greedy"][1] > fig.series["static"][1]
+
+
+class TestBattlefield:
+    def test_small_battlefield_table(self):
+        from repro.apps.battlefield import BattlefieldApp, general_engagement
+        from repro.graphs import HexGrid
+
+        app = BattlefieldApp(general_engagement(grid=HexGrid(8, 8)))
+        table = run_battlefield_table(
+            "metis", steps_list=(3,), procs=(1, 2), app=app
+        )
+        assert table.rows[3][0] > table.rows[3][1]
+
+
+class TestOverheads:
+    def test_phase_breakdown_shape(self):
+        result = run_overheads(hex_graph(32), procs=(2, 4), iterations=10)
+        assert set(result.phases) == {2, 4}
+        p2 = result.phases[2]
+        assert p2.compute > 0
+        assert p2.communication_overhead > 0
+        # compute per rank halves when procs double
+        assert result.phases[4].compute < p2.compute
+        assert "p=2" in result.render()

@@ -1,0 +1,63 @@
+"""Tests for the full-report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import generate_report
+from repro.bench.tables import ExperimentTable
+
+
+class TestPaperRowAlignment:
+    def test_reduced_axis_picks_matching_columns(self):
+        table = ExperimentTable(
+            experiment_id="x",
+            title="T",
+            row_label="Iterations",
+            procs=(1, 4),
+            rows={10: [0.5, 0.2]},
+            paper={10: [0.51, 0.31, 0.21, 0.11, 0.06]},
+        )
+        rendered = table.render()
+        assert "0.5100" in rendered   # paper p=1
+        assert "0.2100" in rendered   # paper p=4 (third column of the full axis)
+        assert "0.3100" not in rendered  # paper p=2 must NOT appear
+
+    def test_unknown_proc_renders_dash(self):
+        table = ExperimentTable(
+            experiment_id="x",
+            title="T",
+            row_label="Iterations",
+            procs=(3,),
+            rows={10: [0.5]},
+            paper={10: [0.51, 0.31, 0.21, 0.11, 0.06]},
+        )
+        assert "-" in table.render()
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self) -> str:
+        return generate_report(quick=True)
+
+    def test_contains_all_sections(self, report):
+        for marker in (
+            "Tables 2-4",
+            "Tables 5-6",
+            "Figure 11/16",
+            "Figures 12/17",
+            "Figures 13-15/18-19",
+            "Tables 7-11",
+            "Figures 21/22",
+        ):
+            assert marker in report
+
+    def test_paper_rows_present(self, report):
+        assert report.count("(paper)") >= 10
+
+    def test_battlefield_included(self, report):
+        assert "bf partition" in report
+        assert "metis partition" in report
+
+    def test_markdown_code_fences_balanced(self, report):
+        assert report.count("```") % 2 == 0

@@ -1,0 +1,80 @@
+"""Tests for the experiment-table containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ExperimentTable, SeriesFigure, format_seconds
+from repro.bench.paperdata import PAPER_TABLES, PROCS
+
+
+class TestFormatSeconds:
+    def test_subsecond_four_figures(self):
+        assert format_seconds(0.0435) == "0.0435"
+
+    def test_seconds_three_decimals(self):
+        assert format_seconds(2.2481) == "2.248"
+
+
+class TestExperimentTable:
+    def _table(self):
+        return ExperimentTable(
+            experiment_id="table2_hex32",
+            title="Execution time (s) on 32-node hexagonal grids",
+            row_label="Iterations",
+            procs=(1, 2, 4),
+            rows={10: [0.1, 0.05, 0.03], 20: [0.2, 0.11, 0.06]},
+            paper={10: [0.111, 0.058, 0.0315]},
+        )
+
+    def test_speedups(self):
+        table = self._table()
+        assert table.speedups(20) == pytest.approx([1.0, 0.2 / 0.11, 0.2 / 0.06])
+
+    def test_render_contains_rows_and_paper(self):
+        text = self._table().render()
+        assert "Iterations" in text
+        assert "p=4" in text
+        assert "(paper)" in text
+        assert "0.1110" in text
+
+    def test_render_without_paper(self):
+        table = ExperimentTable(
+            "x", "T", "Iterations", (1, 2), {5: [1.0, 0.6]}
+        )
+        assert "(paper)" not in table.render()
+
+
+class TestSeriesFigure:
+    def test_add_and_render(self):
+        fig = SeriesFigure("fig", "Speedups", procs=(1, 2, 4))
+        fig.add("metis", [1.0, 1.9, 3.5])
+        text = fig.render()
+        assert "metis" in text
+        assert "3.500" in text
+
+    def test_length_mismatch_rejected(self):
+        fig = SeriesFigure("fig", "Speedups", procs=(1, 2))
+        with pytest.raises(ValueError):
+            fig.add("bad", [1.0])
+
+
+class TestPaperData:
+    def test_all_tables_cover_the_processor_axis(self):
+        for name, rows in PAPER_TABLES.items():
+            for iters, values in rows.items():
+                assert len(values) == len(PROCS), (name, iters)
+
+    def test_expected_tables_present(self):
+        assert len(PAPER_TABLES) == 10
+        assert "table7_bf_metis" in PAPER_TABLES
+
+    def test_monotone_in_iterations_at_one_proc(self):
+        for name, rows in PAPER_TABLES.items():
+            ordered = [rows[i][0] for i in sorted(rows)]
+            assert ordered == sorted(ordered), name
+
+    def test_battlefield_graycode_slowdown_is_in_the_data(self):
+        """Table 8's headline: 2 processors slower than 1."""
+        rows = PAPER_TABLES["table8_bf_graycode"]
+        assert rows[25][1] > 2 * rows[25][0]

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import Graph, hex32, hex64, random_connected_graph
+from repro.mpi import IDEAL, ORIGIN2000
+from repro.partitioning import MetisLikePartitioner
+
+
+@pytest.fixture(scope="session")
+def hex32_graph() -> Graph:
+    return hex32()
+
+
+@pytest.fixture(scope="session")
+def hex64_graph() -> Graph:
+    return hex64()
+
+
+@pytest.fixture(scope="session")
+def rand24_graph() -> Graph:
+    return random_connected_graph(24, avg_degree=3.0, seed=7, name="rand24")
+
+
+@pytest.fixture(scope="session")
+def small_path() -> Graph:
+    return Graph.from_edges(6, [(1, 2), (2, 3), (3, 4), (4, 5), (5, 6)], name="path6")
+
+
+@pytest.fixture(scope="session")
+def metis() -> MetisLikePartitioner:
+    return MetisLikePartitioner(seed=1)
+
+
+@pytest.fixture(scope="session")
+def ideal_machine():
+    return IDEAL
+
+
+@pytest.fixture(scope="session")
+def origin_machine():
+    return ORIGIN2000

@@ -1,0 +1,60 @@
+"""Tests for the communication buffers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BUFFER_RECORD_TYPE, CommBuffers
+
+
+class TestCommBuffers:
+    def test_pack_and_iterate(self):
+        buffers = CommBuffers(4)
+        buffers.pack(1, 10, 100)
+        buffers.pack(1, 11, 110)
+        buffers.pack(3, 12, 120)
+        assert buffers.outgoing(1) == [(10, 100), (11, 110)]
+        assert buffers.nonempty_procs() == [1, 3]
+        assert buffers.total_records() == 3
+        assert dict(iter(buffers)) == {1: [(10, 100), (11, 110)], 3: [(12, 120)]}
+
+    def test_reset(self):
+        buffers = CommBuffers(2)
+        buffers.pack(0, 1, 2)
+        buffers.reset()
+        assert buffers.total_records() == 0
+        assert buffers.nonempty_procs() == []
+
+    def test_invalid_proc_rejected(self):
+        buffers = CommBuffers(2)
+        with pytest.raises(IndexError):
+            buffers.pack(2, 1, 2)
+        with pytest.raises(IndexError):
+            buffers.pack(-1, 1, 2)
+
+    def test_invalid_nprocs_rejected(self):
+        with pytest.raises(ValueError):
+            CommBuffers(0)
+
+    def test_int_records_use_committed_struct_size(self):
+        buffers = CommBuffers(2)
+        buffers.pack(1, 5, 42)
+        buffers.pack(1, 6, 43)
+        assert buffers.nbytes(1) == 2 * BUFFER_RECORD_TYPE.size_of()
+
+    def test_fat_records_use_estimator(self):
+        buffers = CommBuffers(2)
+        buffers.pack(1, 5, [1.0] * 10)
+        # 4 bytes id + 16 container + 10 floats
+        assert buffers.nbytes(1) == 4 + 16 + 80
+
+    def test_record_with_nbytes_attribute(self):
+        class Fat:
+            nbytes = 1000
+
+        buffers = CommBuffers(2)
+        buffers.pack(0, 1, Fat())
+        assert buffers.nbytes(0) == 1004
+
+    def test_empty_buffer_nbytes_zero(self):
+        assert CommBuffers(2).nbytes(1) == 0

@@ -1,0 +1,125 @@
+"""Tests for the modulo-hash node table, including hypothesis properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NodeData, NodeHashTable
+
+
+class TestBasics:
+    def test_insert_and_get(self):
+        table = NodeHashTable(10)
+        record = NodeData(5, data=50)
+        assert table.insert(record)
+        assert table.get(5) is record
+        assert table[5] is record
+
+    def test_get_missing_returns_none(self):
+        table = NodeHashTable(10)
+        assert table.get(3) is None
+        with pytest.raises(KeyError):
+            table[3]
+
+    def test_duplicate_insert_is_noop(self):
+        table = NodeHashTable(10)
+        first = NodeData(5, data=1)
+        table.insert(first)
+        assert not table.insert(NodeData(5, data=2))
+        assert table[5] is first
+        assert len(table) == 1
+
+    def test_remove(self):
+        table = NodeHashTable(10)
+        table.insert(NodeData(5, data=1))
+        assert table.remove(5)
+        assert not table.remove(5)
+        assert 5 not in table
+        assert len(table) == 0
+
+    def test_contains(self):
+        table = NodeHashTable(10)
+        table.insert(NodeData(7, data=0))
+        assert 7 in table
+        assert 8 not in table
+
+    def test_hash_matches_appendix_formula(self):
+        table = NodeHashTable(10)
+        for gid in (1, 2, 3, 17, 100):
+            assert table.hash_index(gid) == pow(3, gid, 10)
+
+    def test_gid_must_be_positive(self):
+        table = NodeHashTable(10)
+        with pytest.raises(KeyError):
+            table.hash_index(0)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            NodeHashTable(0)
+
+    def test_buckets_kept_sorted(self):
+        table = NodeHashTable(1)  # everything in one bucket
+        for gid in (9, 3, 7, 1, 5):
+            table.insert(NodeData(gid, data=0))
+        bucket = table.bucket_lengths()
+        assert bucket == [5]
+        assert [r.global_id for r in table] == [1, 3, 5, 7, 9]
+
+    def test_gids_sorted(self):
+        table = NodeHashTable(16)
+        for gid in (12, 4, 9):
+            table.insert(NodeData(gid, data=0))
+        assert table.gids() == [4, 9, 12]
+
+    def test_clear(self):
+        table = NodeHashTable(8)
+        for gid in range(1, 10):
+            table.insert(NodeData(gid, data=0))
+        table.clear()
+        assert len(table) == 0
+        assert table.gids() == []
+
+    def test_collisions_resolved(self):
+        # length 10: 3^1=3, 3^5=3 mod 10 (3^5=243) -> same bucket
+        table = NodeHashTable(10)
+        table.insert(NodeData(1, data="a"))
+        table.insert(NodeData(5, data="b"))
+        assert table.hash_index(1) == table.hash_index(5)
+        assert table[1].data == "a"
+        assert table[5].data == "b"
+
+
+@given(
+    gids=st.lists(st.integers(min_value=1, max_value=500), unique=True, max_size=60),
+    length=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_insert_then_get_everything(gids, length):
+    table = NodeHashTable(length)
+    for gid in gids:
+        assert table.insert(NodeData(gid, data=gid * 2))
+    assert len(table) == len(gids)
+    for gid in gids:
+        assert table[gid].data == gid * 2
+    assert table.gids() == sorted(gids)
+    assert sum(table.bucket_lengths()) == len(gids)
+
+
+@given(
+    gids=st.lists(st.integers(min_value=1, max_value=200), unique=True, min_size=1, max_size=40),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_remove_subset(gids, data):
+    table = NodeHashTable(16)
+    for gid in gids:
+        table.insert(NodeData(gid, data=0))
+    to_remove = data.draw(st.lists(st.sampled_from(gids), unique=True))
+    for gid in to_remove:
+        assert table.remove(gid)
+    remaining = sorted(set(gids) - set(to_remove))
+    assert table.gids() == remaining
+    for gid in to_remove:
+        assert gid not in table

@@ -1,0 +1,178 @@
+"""Tests for the dynamic load balancers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BusyIdlePair,
+    CentralizedHeuristicBalancer,
+    GreedyPairBalancer,
+    LoadBalancer,
+    build_processor_edges,
+)
+
+
+def ring_edges(n: int) -> list[list[int]]:
+    """A ring processor graph with unit buffer sizes."""
+    edges = [[0] * n for _ in range(n)]
+    for i in range(n):
+        edges[i][(i + 1) % n] = 1
+        edges[(i + 1) % n][i] = 1
+    return edges
+
+
+class TestBuildProcessorEdges:
+    def test_symmetrizes(self):
+        sizes = [[0, 3, 0], [1, 0, 2], [0, 0, 0]]
+        edges = build_processor_edges(sizes)
+        assert edges[0][1] == edges[1][0] == 4
+        assert edges[1][2] == edges[2][1] == 2
+        assert edges[0][2] == 0
+        assert edges[0][0] == 0
+
+    def test_wrong_row_length_rejected(self):
+        with pytest.raises(ValueError):
+            build_processor_edges([[0, 1], [0]])
+
+
+class TestCentralizedHeuristic:
+    def test_is_a_load_balancer(self):
+        assert isinstance(CentralizedHeuristicBalancer(), LoadBalancer)
+
+    def test_paper_threshold_default(self):
+        assert CentralizedHeuristicBalancer().threshold == 0.25
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CentralizedHeuristicBalancer(-0.1)
+
+    def test_relative_load_formula(self):
+        bal = CentralizedHeuristicBalancer()
+        rel = bal.relative_load([2.0, 1.0], [[0, 1], [1, 0]])
+        assert rel[0][1] == pytest.approx(1.0)  # (2-1)/1
+        assert rel[1][0] == 0.0  # t_1 < t_0
+
+    def test_busy_must_exceed_all_neighbors(self):
+        # proc 0 linked to 1 (much lighter) and 2 (equal): not busy.
+        edges = [[0, 1, 1], [1, 0, 0], [1, 0, 0]]
+        times = [2.0, 1.0, 2.0]
+        assert CentralizedHeuristicBalancer().find_pairs(times, edges) == []
+
+    def test_pair_found_when_clearly_busy(self):
+        edges = [[0, 1, 1], [1, 0, 0], [1, 0, 0]]
+        times = [2.0, 1.0, 1.5]
+        pairs = CentralizedHeuristicBalancer().find_pairs(times, edges)
+        assert pairs == [BusyIdlePair(busy=0, idle=1)]
+
+    def test_idle_is_least_loaded_neighbor(self):
+        edges = [[0, 1, 1, 0], [1, 0, 0, 0], [1, 0, 0, 0], [0, 0, 0, 0]]
+        times = [4.0, 2.0, 1.0, 0.1]  # proc 3 is lightest but not a neighbour
+        pairs = CentralizedHeuristicBalancer().find_pairs(times, edges)
+        assert pairs == [BusyIdlePair(busy=0, idle=2)]
+
+    def test_threshold_boundary(self):
+        edges = [[0, 1], [1, 0]]
+        at = CentralizedHeuristicBalancer(0.25).find_pairs([1.25, 1.0], edges)
+        below = CentralizedHeuristicBalancer(0.25).find_pairs([1.24, 1.0], edges)
+        assert at and not below
+
+    def test_no_neighbors_no_pair(self):
+        edges = [[0, 0], [0, 0]]
+        assert CentralizedHeuristicBalancer().find_pairs([9.0, 1.0], edges) == []
+
+    def test_zero_time_neighbor_is_never_idle_candidate(self):
+        edges = [[0, 1], [1, 0]]
+        # avoid division by zero; no pair because rel stays 0
+        assert CentralizedHeuristicBalancer().find_pairs([1.0, 0.0], edges) == []
+
+    def test_multiple_pairs(self):
+        # two independent busy-idle islands on a 4-ring
+        edges = ring_edges(4)
+        times = [4.0, 1.0, 4.0, 1.0]
+        pairs = CentralizedHeuristicBalancer().find_pairs(times, edges)
+        assert BusyIdlePair(0, 1) in pairs or BusyIdlePair(0, 3) in pairs
+        assert BusyIdlePair(2, 1) in pairs or BusyIdlePair(2, 3) in pairs
+
+    def test_uniform_load_no_pairs(self):
+        edges = ring_edges(6)
+        assert CentralizedHeuristicBalancer().find_pairs([1.0] * 6, edges) == []
+
+
+class TestGreedyPair:
+    def test_fires_on_partial_gradient(self):
+        """Unlike the centralized heuristic, a busy proc with one equal
+        neighbour can still pair with a lighter one."""
+        edges = [[0, 1, 1], [1, 0, 1], [1, 1, 0]]
+        times = [2.0, 2.0, 1.0]
+        pairs = GreedyPairBalancer(0.25).find_pairs(times, edges)
+        assert BusyIdlePair(busy=0, idle=2) in pairs
+
+    def test_each_proc_used_once(self):
+        edges = ring_edges(4)
+        times = [4.0, 1.0, 4.0, 1.0]
+        pairs = GreedyPairBalancer(0.25).find_pairs(times, edges)
+        used = [p.busy for p in pairs] + [p.idle for p in pairs]
+        assert len(used) == len(set(used))
+
+    def test_max_pairs_cap(self):
+        edges = ring_edges(6)
+        times = [6.0, 1.0, 6.0, 1.0, 6.0, 1.0]
+        pairs = GreedyPairBalancer(0.25, max_pairs=1).find_pairs(times, edges)
+        assert len(pairs) == 1
+
+    def test_threshold_respected(self):
+        edges = ring_edges(2)
+        assert GreedyPairBalancer(0.5).find_pairs([1.4, 1.0], edges) == []
+        assert GreedyPairBalancer(0.25).find_pairs([1.4, 1.0], edges)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            GreedyPairBalancer(-1.0)
+
+    def test_heaviest_pairs_first(self):
+        edges = [[0, 1, 0, 0], [1, 0, 1, 0], [0, 1, 0, 1], [0, 0, 1, 0]]
+        times = [10.0, 1.0, 5.0, 1.0]
+        pairs = GreedyPairBalancer(0.25).find_pairs(times, edges)
+        assert pairs[0].busy == 0
+
+
+class TestDiffusion:
+    def test_fires_on_any_gradient(self):
+        from repro.core import DiffusionBalancer
+
+        edges = [[0, 1, 1], [1, 0, 1], [1, 1, 0]]
+        times = [2.0, 2.0, 1.0]
+        pairs = DiffusionBalancer(0.25).find_pairs(times, edges)
+        assert BusyIdlePair(0, 2) in pairs
+        assert BusyIdlePair(1, 2) in pairs
+
+    def test_no_pairs_when_flat(self):
+        from repro.core import DiffusionBalancer
+
+        edges = ring_edges(4)
+        assert DiffusionBalancer(0.25).find_pairs([1.0] * 4, edges) == []
+
+    def test_respects_edges(self):
+        from repro.core import DiffusionBalancer
+
+        edges = [[0, 1, 0], [1, 0, 0], [0, 0, 0]]
+        times = [5.0, 1.0, 0.1]
+        pairs = DiffusionBalancer(0.25).find_pairs(times, edges)
+        assert pairs == [BusyIdlePair(0, 1)]  # 2 unreachable
+
+    def test_threshold_and_validation(self):
+        from repro.core import DiffusionBalancer
+
+        import pytest
+
+        with pytest.raises(ValueError):
+            DiffusionBalancer(-0.1)
+        edges = ring_edges(2)
+        assert DiffusionBalancer(0.5).find_pairs([1.4, 1.0], edges) == []
+        assert DiffusionBalancer(0.25).find_pairs([1.4, 1.0], edges)
+
+    def test_is_a_load_balancer(self):
+        from repro.core import DiffusionBalancer
+
+        assert isinstance(DiffusionBalancer(), LoadBalancer)

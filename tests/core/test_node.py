@@ -1,0 +1,49 @@
+"""Tests for the node-level records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import INTERNAL, PERIPHERAL, NodeData, OwnNode
+
+
+class TestNodeData:
+    def test_commit_promotes(self):
+        record = NodeData(1, data=10)
+        record.most_recent_data = 42
+        record.commit()
+        assert record.data == 42
+
+    def test_commit_without_update_keeps_data(self):
+        record = NodeData(1, data=10)
+        record.commit()
+        assert record.data == 10
+
+    def test_repr(self):
+        assert "gid=3" in repr(NodeData(3, data=7))
+
+
+class TestOwnNode:
+    def _data(self, gid=1):
+        return NodeData(gid, data=0)
+
+    def test_internal_node(self):
+        node = OwnNode(1, INTERNAL, 0, self._data(), (2, 3))
+        assert not node.is_peripheral
+        assert node.shadow_for_procs == ()
+
+    def test_peripheral_node(self):
+        node = OwnNode(1, PERIPHERAL, 0, self._data(), (2, 3), shadow_for_procs=(1, 2))
+        assert node.is_peripheral
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            OwnNode(1, "x", 0, self._data(), ())
+
+    def test_internal_with_shadows_rejected(self):
+        with pytest.raises(ValueError):
+            OwnNode(1, INTERNAL, 0, self._data(), (2,), shadow_for_procs=(1,))
+
+    def test_repr_mentions_kind(self):
+        node = OwnNode(5, PERIPHERAL, 2, self._data(5), (1,), shadow_for_procs=(0,))
+        assert "'p'" in repr(node)

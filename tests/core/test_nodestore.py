@@ -1,0 +1,187 @@
+"""Tests for the per-processor node store (initialization + migration
+surgery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NodeStore
+from repro.graphs import Graph, hex32
+
+
+@pytest.fixture
+def path6() -> Graph:
+    return Graph.from_edges(6, [(1, 2), (2, 3), (3, 4), (4, 5), (5, 6)])
+
+
+def make_store(graph, assignment, rank, init=lambda gid: gid * 10):
+    return NodeStore(rank, graph, list(assignment), init)
+
+
+class TestClassification:
+    def test_internal_vs_peripheral(self, path6):
+        # [1,2,3 | 4,5,6]: nodes 3 and 4 are peripheral.
+        store0 = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        assert sorted(store0.internal) == [1, 2]
+        assert sorted(store0.peripheral) == [3]
+        store1 = make_store(path6, [0, 0, 0, 1, 1, 1], 1)
+        assert sorted(store1.internal) == [5, 6]
+        assert sorted(store1.peripheral) == [4]
+
+    def test_shadow_records_present(self, path6):
+        store0 = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        assert store0.shadow_gids() == [4]
+        assert store0.value_of(4) == 40
+
+    def test_shadow_for_procs(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        assert store.own_node(3).shadow_for_procs == (1,)
+        assert store.own_node(2).shadow_for_procs == ()
+
+    def test_multi_proc_shadows(self):
+        star = Graph.from_edges(4, [(1, 2), (1, 3), (1, 4)])
+        store = make_store(star, [0, 1, 2, 3], 0)
+        assert store.own_node(1).shadow_for_procs == (1, 2, 3)
+
+    def test_owned_iteration_order_internal_first(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        kinds = [n.kind for n in store.owned_nodes()]
+        assert kinds == ["i", "i", "p"]
+
+    def test_owns_and_own_node(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        assert store.owns(2)
+        assert not store.owns(5)
+        with pytest.raises(KeyError):
+            store.own_node(5)
+
+    def test_value_of_unknown_raises(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        with pytest.raises(KeyError):
+            store.value_of(6)  # two hops away: no shadow held
+
+    def test_empty_rank(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 2)
+        assert store.num_owned() == 0
+        assert store.buffer_sizes(3) == [0, 0, 0]
+        store.check_invariants()
+
+    def test_single_rank_owns_everything(self, path6):
+        store = make_store(path6, [0] * 6, 0)
+        assert len(store.internal) == 6
+        assert len(store.peripheral) == 0
+        assert store.shadow_gids() == []
+        store.check_invariants()
+
+
+class TestBufferSizes:
+    def test_counts_shadow_copies(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        assert store.buffer_sizes(2) == [0, 1]
+
+    def test_symmetry_across_ranks(self):
+        g = hex32()
+        assignment = [gid % 4 for gid in range(32)]
+        stores = [make_store(g, assignment, r) for r in range(4)]
+        sizes = [s.buffer_sizes(4) for s in stores]
+        for i in range(4):
+            for j in range(4):
+                # if i sends to j, j sends to i (graph is undirected)
+                assert (sizes[i][j] > 0) == (sizes[j][i] > 0)
+
+    def test_neighbor_procs(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        assert store.neighbor_procs() == [1]
+
+
+class TestCommitAndShadows:
+    def test_commit_owned(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        for node in store.owned_nodes():
+            node.data.most_recent_data = node.global_id * 100
+        assert store.commit_owned() == 3
+        assert store.value_of(2) == 200
+
+    def test_update_shadow(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        store.update_shadow(4, 999)
+        assert store.value_of(4) == 999
+
+    def test_update_unknown_shadow_raises(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        with pytest.raises(KeyError):
+            store.update_shadow(6, 1)
+
+
+class TestMigrationSurgery:
+    def test_release_keeps_data_record(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        node = store.release_node(3)
+        assert node.global_id == 3
+        assert not store.owns(3)
+        # "the entry of the migrating node isn't removed from the data node
+        # list and the hash table"
+        assert 3 in store.data_records
+        assert store.hash_table.get(3) is not None
+
+    def test_release_unowned_raises(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        with pytest.raises(KeyError):
+            store.release_node(5)
+
+    def test_adopt_then_refresh(self, path6):
+        assignment = [0, 0, 0, 1, 1, 1]
+        busy = make_store(path6, assignment, 0)
+        idle = make_store(path6, assignment, 1)
+        # migrate node 3 from 0 to 1
+        busy.assignment[2] = 1
+        idle.assignment[2] = 1
+        released = busy.release_node(3)
+        payload = [(v, busy.data_records[v].data) for v in released.neighboring_nodes]
+        idle.adopt_node(3, payload)
+        busy.refresh_ownership()
+        idle.refresh_ownership()
+        busy.check_invariants()
+        idle.check_invariants()
+        # node 2 on busy became peripheral; node 4 on idle stays peripheral;
+        # node 3 now owned by idle and peripheral (neighbour 2 is remote).
+        assert busy.own_node(2).kind == "p"
+        assert idle.own_node(3).kind == "p"
+        assert idle.owns(3) and not busy.owns(3)
+
+    def test_adopt_owned_raises(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        with pytest.raises(KeyError):
+            store.adopt_node(2, [])
+
+    def test_adopt_without_data_record_raises(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 1)
+        store.assignment[0] = 1  # node 1, two hops away: no shadow here
+        with pytest.raises(KeyError):
+            store.adopt_node(1, [])
+
+    def test_ensure_record_idempotent(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        first = store.ensure_record(6, 60)
+        second = store.ensure_record(6, 999)
+        assert first is second
+        assert first.data == 60
+
+    def test_prune_stale_shadows(self, path6):
+        assignment = [0, 0, 0, 1, 1, 1]
+        store = make_store(path6, assignment, 0)
+        # give away node 3; its shadow of 4 becomes stale after pruning
+        store.assignment[2] = 1
+        store.release_node(3)
+        store.refresh_ownership()
+        dropped = store.prune_stale_shadows()
+        assert 4 in dropped
+        # node 3 itself is still a neighbour of owned node 2: kept
+        assert 3 in store.data_records
+        store.check_invariants()
+
+    def test_invariants_catch_desync(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        store.assignment[2] = 1  # changed ownership without surgery
+        with pytest.raises(AssertionError):
+            store.check_invariants()

@@ -1,0 +1,50 @@
+"""Tests for phase-time accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PHASE_NAMES, PhaseTimes
+
+
+class TestPhaseTimes:
+    def test_phase_names_match_paper_order(self):
+        assert PHASE_NAMES == (
+            "initialization",
+            "computation_overhead",
+            "compute",
+            "communication_overhead",
+            "communicate",
+            "load_balancing",
+        )
+
+    def test_total(self):
+        phases = PhaseTimes(initialization=1.0, compute=2.0, communicate=0.5)
+        assert phases.total() == pytest.approx(3.5)
+
+    def test_add_accumulates(self):
+        a = PhaseTimes(compute=1.0)
+        b = PhaseTimes(compute=2.0, communicate=1.0)
+        a.add(b)
+        assert a.compute == 3.0
+        assert a.communicate == 1.0
+
+    def test_as_dict_order(self):
+        phases = PhaseTimes()
+        assert list(phases.as_dict()) == list(PHASE_NAMES)
+
+    def test_mean(self):
+        records = [PhaseTimes(compute=1.0), PhaseTimes(compute=3.0)]
+        assert PhaseTimes.mean(records).compute == 2.0
+
+    def test_mean_empty(self):
+        assert PhaseTimes.mean([]).total() == 0.0
+
+    def test_maximum(self):
+        records = [
+            PhaseTimes(compute=1.0, communicate=5.0),
+            PhaseTimes(compute=3.0, communicate=2.0),
+        ]
+        out = PhaseTimes.maximum(records)
+        assert out.compute == 3.0
+        assert out.communicate == 5.0

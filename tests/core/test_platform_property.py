@@ -1,0 +1,125 @@
+"""Property-based end-to-end tests: platform execution equals the
+synchronous sequential semantics for ANY graph, partition, and processor
+count -- with and without dynamic load balancing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.average import make_average_fn
+from repro.apps.imbalance import ImbalanceSchedule, make_imbalanced_average_fn
+from repro.core import GreedyPairBalancer, PlatformConfig, run_platform
+from repro.graphs import Graph, random_connected_graph
+from repro.mpi import IDEAL
+from repro.partitioning import Partition
+
+
+def sequential_average(graph: Graph, iterations: int) -> dict[int, float]:
+    values = {gid: float(gid) for gid in graph.nodes()}
+    for _ in range(iterations):
+        values = {
+            gid: (values[gid] + sum(values[v] for v in graph.neighbors(gid)))
+            / (1 + graph.degree(gid))
+            for gid in graph.nodes()
+        }
+    return values
+
+
+@st.composite
+def platform_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    graph = random_connected_graph(n, avg_degree=3.0, seed=seed)
+    nprocs = draw(st.integers(min_value=1, max_value=min(5, n)))
+    assignment = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=nprocs - 1),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    iterations = draw(st.integers(min_value=1, max_value=6))
+    return graph, Partition.from_assignment(graph, assignment, nprocs), iterations
+
+
+@given(platform_cases())
+@settings(max_examples=25, deadline=None)
+def test_platform_matches_sequential_semantics(case):
+    graph, partition, iterations = case
+    result = run_platform(
+        graph,
+        make_average_fn(0.0),
+        partition,
+        config=PlatformConfig(iterations=iterations),
+        machine=IDEAL,
+        init_value=float,
+    )
+    expected = sequential_average(graph, iterations)
+    assert result.values.keys() == expected.keys()
+    for gid, value in expected.items():
+        assert result.values[gid] == pytest.approx(value, abs=1e-12)
+
+
+@given(platform_cases(), st.integers(min_value=2, max_value=4))
+@settings(max_examples=15, deadline=None)
+def test_dynamic_lb_is_semantically_invisible(case, lb_period):
+    graph, partition, iterations = case
+    schedule = ImbalanceSchedule(
+        windows=((10**9, 0.0, 0.5),), heavy_grain=1e-3, light_grain=1e-4
+    )
+    node_fn = make_imbalanced_average_fn(schedule)
+    base = run_platform(
+        graph, node_fn, partition,
+        config=PlatformConfig(iterations=iterations),
+        machine=IDEAL, init_value=float,
+    )
+    dyn = run_platform(
+        graph, node_fn, partition,
+        config=PlatformConfig(
+            iterations=iterations,
+            dynamic_load_balancing=True,
+            lb_period=lb_period,
+            validate_each_iteration=True,
+        ),
+        machine=IDEAL,
+        init_value=float,
+        balancer=GreedyPairBalancer(0.05),
+    )
+    for gid in base.values:
+        assert dyn.values[gid] == pytest.approx(base.values[gid], abs=1e-12)
+    # ownership is still a partition of the node set
+    assert sorted(
+        gid for gid in graph.nodes()
+    ) == sorted(range(1, graph.num_nodes + 1))
+    assert len(dyn.final_assignment) == graph.num_nodes
+
+
+@given(platform_cases())
+@settings(max_examples=10, deadline=None)
+def test_repartition_mode_is_semantically_invisible(case):
+    graph, partition, iterations = case
+    schedule = ImbalanceSchedule(
+        windows=((10**9, 0.0, 0.5),), heavy_grain=1e-3, light_grain=1e-4
+    )
+    node_fn = make_imbalanced_average_fn(schedule)
+    base = run_platform(
+        graph, node_fn, partition,
+        config=PlatformConfig(iterations=iterations),
+        machine=IDEAL, init_value=float,
+    )
+    repart = run_platform(
+        graph, node_fn, partition,
+        config=PlatformConfig(
+            iterations=iterations,
+            dynamic_load_balancing=True,
+            lb_period=2,
+            rebalance_mode="repartition",
+            validate_each_iteration=True,
+        ),
+        machine=IDEAL,
+        init_value=float,
+    )
+    for gid in base.values:
+        assert repart.values[gid] == pytest.approx(base.values[gid], abs=1e-12)

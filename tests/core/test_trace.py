@@ -1,0 +1,141 @@
+"""Tests for the per-iteration execution trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import make_average_fn
+from repro.apps.imbalance import ImbalanceSchedule, make_imbalanced_average_fn
+from repro.core import (
+    ExecutionTrace,
+    GreedyPairBalancer,
+    IterationRecord,
+    PlatformConfig,
+    run_platform,
+)
+from repro.graphs import hex64
+from repro.partitioning import MetisLikePartitioner
+
+
+def rec(rank, iteration, start, end, compute, comm=0.0, migrations=0):
+    return IterationRecord(
+        rank=rank, iteration=iteration, start=start, end=end,
+        compute=compute, comm_overhead=comm, migrations=migrations,
+    )
+
+
+class TestExecutionTrace:
+    def test_duration(self):
+        assert rec(0, 1, 1.0, 3.5, 1.0).duration == 2.5
+
+    def test_iterations_and_ranks(self):
+        trace = ExecutionTrace([rec(0, 1, 0, 1, 0.5), rec(1, 2, 1, 2, 0.5)])
+        assert trace.iterations() == [1, 2]
+        assert trace.ranks() == [0, 1]
+        assert len(trace) == 2
+
+    def test_makespan(self):
+        trace = ExecutionTrace([
+            rec(0, 1, 0.0, 1.0, 0.5),
+            rec(1, 1, 0.2, 1.8, 0.5),
+        ])
+        assert trace.makespan(1) == pytest.approx(1.8)
+
+    def test_makespan_missing_iteration(self):
+        with pytest.raises(KeyError):
+            ExecutionTrace().makespan(1)
+
+    def test_compute_imbalance(self):
+        trace = ExecutionTrace([
+            rec(0, 1, 0, 1, 3.0),
+            rec(1, 1, 0, 1, 1.0),
+        ])
+        assert trace.compute_imbalance(1) == pytest.approx(1.5)
+
+    def test_imbalance_of_idle_iteration_is_one(self):
+        trace = ExecutionTrace([rec(0, 1, 0, 1, 0.0), rec(1, 1, 0, 1, 0.0)])
+        assert trace.compute_imbalance(1) == 1.0
+
+    def test_utilization(self):
+        trace = ExecutionTrace([rec(0, 1, 0.0, 2.0, 1.0), rec(0, 2, 2.0, 4.0, 0.5)])
+        assert trace.utilization(0) == pytest.approx(1.5 / 4.0)
+        with pytest.raises(KeyError):
+            trace.utilization(5)
+
+    def test_total_migrations(self):
+        trace = ExecutionTrace([rec(0, 1, 0, 1, 0, migrations=2),
+                                rec(1, 1, 0, 1, 0, migrations=1)])
+        assert trace.total_migrations() == 3
+
+    def test_render(self):
+        trace = ExecutionTrace([rec(0, 1, 0, 1, 2.0), rec(1, 1, 0, 1, 1.0)])
+        text = trace.render()
+        assert "makespan" in text
+        assert "1.333" in text  # imbalance 2/1.5
+
+
+class TestPlatformTracing:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        graph = hex64()
+        partition = MetisLikePartitioner(seed=1).partition(graph, 4)
+        schedule = ImbalanceSchedule(
+            windows=((10**9, 0.0, 0.5),), heavy_grain=3e-3, light_grain=0.3e-3
+        )
+        return run_platform(
+            graph,
+            make_imbalanced_average_fn(schedule),
+            partition,
+            config=PlatformConfig(
+                iterations=40, dynamic_load_balancing=True, lb_period=10,
+                track_trace=True,
+            ),
+            balancer=GreedyPairBalancer(0.25),
+        )
+
+    def test_every_rank_every_iteration_recorded(self, traced_run):
+        trace = traced_run.trace
+        assert trace.iterations() == list(range(1, 41))
+        assert trace.ranks() == [0, 1, 2, 3]
+        assert len(trace) == 160
+
+    def test_compute_sums_match_phase_totals(self, traced_run):
+        traced_compute = sum(r.compute for r in traced_run.trace.records)
+        phase_compute = sum(p.compute for p in traced_run.phases)
+        assert traced_compute == pytest.approx(phase_compute)
+
+    def test_balancer_flattens_imbalance(self, traced_run):
+        """The headline use of the trace: watch imbalance fall across LB
+        rounds."""
+        series = dict(traced_run.trace.imbalance_series())
+        early = series[5]   # before any LB
+        late = series[40]   # after 4 LB rounds
+        assert late < early
+
+    def test_migrations_attributed_to_lb_iterations(self, traced_run):
+        moving = {
+            r.iteration for r in traced_run.trace.records if r.migrations > 0
+        }
+        assert moving  # some migrations happened
+        assert all(it % 10 == 0 for it in moving)
+
+    def test_tracing_off_by_default(self):
+        graph = hex64()
+        partition = MetisLikePartitioner(seed=1).partition(graph, 2)
+        result = run_platform(
+            graph, make_average_fn(), partition, config=PlatformConfig(iterations=3)
+        )
+        assert len(result.trace) == 0
+
+    def test_tracing_does_not_change_timing(self):
+        graph = hex64()
+        partition = MetisLikePartitioner(seed=1).partition(graph, 4)
+        base = run_platform(
+            graph, make_average_fn(), partition,
+            config=PlatformConfig(iterations=10),
+        )
+        traced = run_platform(
+            graph, make_average_fn(), partition,
+            config=PlatformConfig(iterations=10, track_trace=True),
+        )
+        assert traced.elapsed == base.elapsed

@@ -1,0 +1,102 @@
+"""Tests for the partition-analysis diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    hex64,
+    interface_matrix,
+    interface_stats,
+    part_connectivity,
+    partition_summary,
+    surface_to_volume,
+)
+from repro.partitioning import MetisLikePartitioner, RoundRobinPartitioner
+
+
+@pytest.fixture
+def path6() -> Graph:
+    return Graph.from_edges(6, [(1, 2), (2, 3), (3, 4), (4, 5), (5, 6)])
+
+
+class TestPartConnectivity:
+    def test_contiguous_parts(self, path6):
+        assert part_connectivity(path6, [0, 0, 0, 1, 1, 1], 2) == [1, 1]
+
+    def test_fragmented_part_detected(self, path6):
+        # part 0 owns both ends, part 1 the middle: 0 is split in two.
+        assert part_connectivity(path6, [0, 0, 1, 1, 0, 0], 2) == [2, 1]
+
+    def test_empty_part_reports_zero(self, path6):
+        assert part_connectivity(path6, [0] * 6, 2) == [1, 0]
+
+    def test_metis_parts_connected_on_mesh(self):
+        g = hex64()
+        p = MetisLikePartitioner(seed=1).partition(g, 4)
+        components = part_connectivity(g, p.assignment, 4)
+        assert all(c == 1 for c in components)
+
+    def test_round_robin_parts_fragmented(self, path6):
+        components = part_connectivity(path6, [0, 1, 0, 1, 0, 1], 2)
+        assert components == [3, 3]
+
+
+class TestSurfaceToVolume:
+    def test_band_partition(self, path6):
+        stv = surface_to_volume(path6, [0, 0, 0, 1, 1, 1], 2)
+        assert stv == [pytest.approx(1 / 3), pytest.approx(1 / 3)]
+
+    def test_fully_scattered_everything_is_surface(self, path6):
+        stv = surface_to_volume(path6, [0, 1, 0, 1, 0, 1], 2)
+        assert stv == [1.0, 1.0]
+
+    def test_empty_part_zero(self, path6):
+        assert surface_to_volume(path6, [0] * 6, 2)[1] == 0.0
+
+    def test_good_partition_has_lower_ratio(self):
+        g = hex64()
+        metis = MetisLikePartitioner(seed=1).partition(g, 4)
+        rr = RoundRobinPartitioner().partition(g, 4)
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(surface_to_volume(g, metis.assignment, 4)) < mean(
+            surface_to_volume(g, rr.assignment, 4)
+        )
+
+
+class TestInterfaces:
+    def test_matrix_counts_cut_edges(self, path6):
+        matrix = interface_matrix(path6, [0, 0, 1, 1, 2, 2], 3)
+        assert matrix[0][1] == matrix[1][0] == 1
+        assert matrix[1][2] == matrix[2][1] == 1
+        assert matrix[0][2] == 0
+        assert matrix[0][0] == 0
+
+    def test_matrix_total_is_twice_the_cut(self):
+        g = hex64()
+        p = MetisLikePartitioner(seed=1).partition(g, 4)
+        matrix = interface_matrix(g, p.assignment, 4)
+        assert sum(sum(row) for row in matrix) == 2 * p.edge_cut()
+
+    def test_stats(self, path6):
+        stats = interface_stats(path6, [0, 0, 1, 1, 2, 2], 3)
+        assert stats["pairs"] == 2
+        assert stats["max_degree"] == 2  # middle part talks to both
+        assert stats["max_interface"] == 1
+        assert stats["mean_interface"] == 1.0
+
+    def test_stats_single_part(self, path6):
+        stats = interface_stats(path6, [0] * 6, 1)
+        assert stats["pairs"] == 0
+        assert stats["mean_interface"] == 0.0
+
+
+class TestSummary:
+    def test_renders_everything(self):
+        g = hex64()
+        p = MetisLikePartitioner(seed=1).partition(g, 4)
+        text = partition_summary(g, p.assignment, 4)
+        assert "edge cut" in text
+        assert "surface/volume" in text
+        assert text.count("\n") >= 7  # header lines + one per part

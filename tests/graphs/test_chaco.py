@@ -1,0 +1,158 @@
+"""Tests for Chaco graph-format and partition-file I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    format_chaco,
+    format_partition,
+    hex32,
+    parse_chaco,
+    parse_partition,
+    random_connected_graph,
+    read_chaco,
+    read_partition,
+    write_chaco,
+    write_partition,
+)
+
+
+@pytest.fixture
+def weighted_graph() -> Graph:
+    return Graph.from_edges(
+        4,
+        [(1, 2), (2, 3), (3, 4), (4, 1)],
+        node_weights=[2, 1, 3, 1],
+        edge_weights={(1, 2): 5, (3, 4): 2},
+    )
+
+
+class TestParsing:
+    def test_unweighted_fmt0(self):
+        text = "3 2\n2\n1 3\n2\n"
+        g = parse_chaco(text)
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert g.neighbors(2) == (1, 3)
+
+    def test_header_without_fmt_defaults_to_zero(self):
+        g = parse_chaco("2 1\n2\n1\n")
+        assert not g.has_node_weights
+
+    def test_fmt1_edge_weights(self):
+        text = "2 1 1\n2 7\n1 7\n"
+        g = parse_chaco(text)
+        assert g.edge_weight(1, 2) == 7
+
+    def test_fmt10_vertex_weights(self):
+        text = "2 1 10\n4 2\n6 1\n"
+        g = parse_chaco(text)
+        assert g.node_weight(1) == 4
+        assert g.node_weight(2) == 6
+
+    def test_fmt11_both_weights(self):
+        text = "2 1 11\n4 2 9\n6 1 9\n"
+        g = parse_chaco(text)
+        assert g.node_weight(2) == 6
+        assert g.edge_weight(1, 2) == 9
+
+    def test_comment_lines_ignored(self):
+        g = parse_chaco("% a comment\n2 1\n2\n1\n")
+        assert g.num_edges == 1
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            parse_chaco("")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            parse_chaco("3\n")
+
+    def test_unsupported_fmt_rejected(self):
+        with pytest.raises(ValueError, match="fmt"):
+            parse_chaco("2 1 7\n2\n1\n")
+
+    def test_vertex_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="vertex lines"):
+            parse_chaco("3 1\n2\n1\n")
+
+    def test_edge_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="edges"):
+            parse_chaco("2 5\n2\n1\n")
+
+    def test_dangling_edge_weight_rejected(self):
+        with pytest.raises(ValueError, match="dangling"):
+            parse_chaco("2 1 1\n2\n1 7\n")
+
+    def test_inconsistent_edge_weights_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            parse_chaco("2 1 1\n2 7\n1 8\n")
+
+    def test_asymmetric_chaco_rejected(self):
+        with pytest.raises(ValueError):
+            parse_chaco("2 1\n2\n\n")
+
+
+class TestRoundtrips:
+    @pytest.mark.parametrize("fmt", [0, None])
+    def test_unweighted_roundtrip(self, fmt):
+        g = hex32()
+        assert parse_chaco(format_chaco(g, fmt=fmt)) == g
+
+    def test_weighted_roundtrip(self, weighted_graph):
+        assert parse_chaco(format_chaco(weighted_graph)) == weighted_graph
+
+    def test_auto_fmt_selection(self, weighted_graph):
+        text = format_chaco(weighted_graph)
+        assert text.splitlines()[0].endswith("11")
+
+    def test_fmt10_when_only_node_weights(self):
+        g = Graph.from_edges(2, [(1, 2)], node_weights=[2, 3])
+        assert format_chaco(g).splitlines()[0].endswith("10")
+
+    def test_random_graph_roundtrip(self):
+        g = random_connected_graph(40, seed=3)
+        assert parse_chaco(format_chaco(g)) == g
+
+    def test_explicit_bad_fmt_rejected(self):
+        with pytest.raises(ValueError):
+            format_chaco(hex32(), fmt=3)
+
+    def test_file_roundtrip(self, tmp_path, weighted_graph):
+        path = tmp_path / "graph.chaco"
+        write_chaco(weighted_graph, path)
+        assert read_chaco(path) == weighted_graph
+
+    def test_read_chaco_names_from_stem(self, tmp_path):
+        path = tmp_path / "mymesh.graph"
+        write_chaco(hex32(), path)
+        assert read_chaco(path).name == "mymesh"
+
+
+class TestPartitionFiles:
+    def test_parse(self):
+        assert parse_partition("0\n1\n2\n") == [0, 1, 2]
+
+    def test_blank_lines_skipped(self):
+        assert parse_partition("0\n\n1\n") == [0, 1]
+
+    def test_bad_line_reports_position(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_partition("0\nxyz\n")
+
+    def test_format_roundtrip(self):
+        assignment = [3, 1, 4, 1, 5]
+        assert parse_partition(format_partition(assignment)) == assignment
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "out.part"
+        write_partition([0, 1, 0, 1], path)
+        assert read_partition(path) == [0, 1, 0, 1]
+
+    def test_read_partition_checks_length(self, tmp_path):
+        path = tmp_path / "out.part"
+        write_partition([0, 1], path)
+        with pytest.raises(ValueError):
+            read_partition(path, num_nodes=3)

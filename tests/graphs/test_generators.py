@@ -1,0 +1,140 @@
+"""Tests for the graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    binary_tree,
+    complete_graph,
+    cycle_graph,
+    grid2d,
+    path_graph,
+    preferential_attachment,
+    random32,
+    random64,
+    random_connected_graph,
+    star_graph,
+    torus2d,
+)
+
+
+class TestRandomConnected:
+    @pytest.mark.parametrize("n", [1, 2, 5, 32, 64, 100])
+    def test_always_connected(self, n):
+        g = random_connected_graph(n, seed=11)
+        assert g.num_nodes == n
+        assert g.is_connected()
+
+    def test_deterministic_given_seed(self):
+        a = random_connected_graph(50, seed=4)
+        b = random_connected_graph(50, seed=4)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_connected_graph(50, seed=4)
+        b = random_connected_graph(50, seed=5)
+        assert a != b
+
+    def test_average_degree_near_target(self):
+        g = random_connected_graph(200, avg_degree=6.0, seed=0)
+        avg = 2 * g.num_edges / g.num_nodes
+        assert 5.0 <= avg <= 6.5
+
+    def test_degree_clamped_by_complete_graph(self):
+        g = random_connected_graph(5, avg_degree=100.0, seed=0)
+        assert g.num_edges <= 10
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            random_connected_graph(0)
+
+    def test_paper_shortcuts(self):
+        assert random32().num_nodes == 32
+        assert random64().num_nodes == 64
+
+
+class TestMeshes:
+    def test_grid2d_structure(self):
+        g = grid2d(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.is_connected()
+        assert g.max_degree() == 4
+
+    def test_grid2d_corner_degree(self):
+        g = grid2d(3, 3)
+        assert g.degree(1) == 2
+
+    def test_grid2d_rejects_empty(self):
+        with pytest.raises(ValueError):
+            grid2d(0, 3)
+
+    def test_torus_regular_degree_four(self):
+        g = torus2d(4, 5)
+        assert all(g.degree(v) == 4 for v in g.nodes())
+        assert g.num_edges == 2 * 20
+
+    def test_torus_rejects_small(self):
+        with pytest.raises(ValueError):
+            torus2d(2, 5)
+
+
+class TestClassicTopologies:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(1) == 1
+        assert g.degree(3) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert all(g.degree(v) == 2 for v in g.nodes())
+
+    def test_cycle_rejects_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.num_nodes == 8
+        assert g.degree(1) == 7
+        assert all(g.degree(v) == 1 for v in range(2, 9))
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in g.nodes())
+
+    def test_binary_tree(self):
+        g = binary_tree(3)
+        assert g.num_nodes == 15
+        assert g.num_edges == 14
+        assert g.is_connected()
+
+    def test_binary_tree_depth_zero(self):
+        g = binary_tree(0)
+        assert g.num_nodes == 1
+
+    def test_binary_tree_rejects_negative(self):
+        with pytest.raises(ValueError):
+            binary_tree(-1)
+
+
+class TestPreferentialAttachment:
+    def test_size_and_connectivity(self):
+        g = preferential_attachment(60, edges_per_node=2, seed=1)
+        assert g.num_nodes == 60
+        assert g.is_connected()
+
+    def test_has_skewed_degrees(self):
+        g = preferential_attachment(120, edges_per_node=2, seed=3)
+        degrees = sorted(g.degree(v) for v in g.nodes())
+        assert degrees[-1] >= 3 * degrees[len(degrees) // 2]
+
+    def test_deterministic(self):
+        assert preferential_attachment(40, seed=9) == preferential_attachment(40, seed=9)
+
+    def test_rejects_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            preferential_attachment(2, edges_per_node=2)

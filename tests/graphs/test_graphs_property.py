@@ -1,0 +1,111 @@
+"""Property-based tests for the graph substrate (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    boundary_nodes,
+    communication_volume,
+    edge_cut,
+    format_chaco,
+    parse_chaco,
+    part_loads,
+    random_connected_graph,
+)
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 24):
+    """A random connected graph plus optional weights."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    deg = draw(st.floats(min_value=1.0, max_value=6.0))
+    g = random_connected_graph(n, avg_degree=deg, seed=seed)
+    if draw(st.booleans()):
+        weights = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=9), min_size=n, max_size=n
+            )
+        )
+        g = g.with_node_weights(weights)
+    return g
+
+
+@st.composite
+def graph_and_assignment(draw, max_nodes: int = 24, max_parts: int = 6):
+    g = draw(graphs(max_nodes=max_nodes))
+    nparts = draw(st.integers(min_value=1, max_value=max_parts))
+    assignment = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=nparts - 1),
+            min_size=g.num_nodes,
+            max_size=g.num_nodes,
+        )
+    )
+    return g, assignment, nparts
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_adjacency_is_symmetric(g: Graph):
+    for u in g.nodes():
+        for v in g.neighbors(u):
+            assert u in g.neighbors(v)
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_handshake_lemma(g: Graph):
+    assert sum(g.degree(v) for v in g.nodes()) == 2 * g.num_edges
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_chaco_roundtrip_preserves_graph(g: Graph):
+    assert parse_chaco(format_chaco(g), name=g.name) == g
+
+
+@given(graph_and_assignment())
+@settings(max_examples=60, deadline=None)
+def test_edge_cut_bounds(data):
+    g, assignment, nparts = data
+    cut = edge_cut(g, assignment)
+    assert 0 <= cut <= g.num_edges
+
+
+@given(graph_and_assignment())
+@settings(max_examples=60, deadline=None)
+def test_comm_volume_bounds_cut(data):
+    """Each cut edge contributes at most 2 shadow copies; each boundary node
+    at least one."""
+    g, assignment, nparts = data
+    volume = communication_volume(g, assignment)
+    cut = edge_cut(g, assignment)
+    assert volume <= 2 * cut
+    assert volume >= len(boundary_nodes(g, assignment))
+
+
+@given(graph_and_assignment())
+@settings(max_examples=60, deadline=None)
+def test_part_loads_conserve_weight(data):
+    g, assignment, nparts = data
+    assert sum(part_loads(g, assignment, nparts)) == g.total_node_weight()
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_subgraph_of_all_nodes_is_isomorphic(g: Graph):
+    sub, remap = g.subgraph(list(g.nodes()))
+    assert sub.num_nodes == g.num_nodes
+    assert sub.num_edges == g.num_edges
+    assert remap == {gid: gid for gid in g.nodes()}
+
+
+@given(graphs(), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=40, deadline=None)
+def test_bfs_reaches_whole_connected_graph(g: Graph, seed: int):
+    start = seed % g.num_nodes + 1
+    assert sorted(g.bfs_order(start)) == list(g.nodes())

@@ -1,0 +1,122 @@
+"""Tests for hexagonal coordinate arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    HexGrid,
+    cube_distance,
+    cube_range,
+    cube_ring,
+    cube_to_offset,
+    hex_distance,
+    hex_line,
+    hexes_within,
+    offset_to_cube,
+)
+
+coords = st.tuples(
+    st.integers(min_value=0, max_value=30), st.integers(min_value=0, max_value=30)
+)
+
+
+class TestConversions:
+    @given(coords)
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, rc):
+        assert cube_to_offset(offset_to_cube(*rc)) == rc
+
+    @given(coords)
+    @settings(max_examples=50, deadline=None)
+    def test_cube_components_sum_to_zero(self, rc):
+        x, y, z = offset_to_cube(*rc)
+        assert x + y + z == 0
+
+    def test_invalid_cube_rejected(self):
+        with pytest.raises(ValueError):
+            cube_to_offset((1, 1, 1))
+
+
+class TestDistance:
+    def test_self_distance_zero(self):
+        assert hex_distance((3, 4), (3, 4)) == 0
+
+    def test_neighbors_are_distance_one(self):
+        grid = HexGrid(8, 8)
+        for nr, nc in grid.neighbor_cells(4, 4):
+            assert hex_distance((4, 4), (nr, nc)) == 1
+
+    def test_non_neighbors_farther(self):
+        assert hex_distance((0, 0), (0, 5)) == 5
+        assert hex_distance((0, 0), (4, 0)) == 4
+
+    @given(coords, coords)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric(self, a, b):
+        assert hex_distance(a, b) == hex_distance(b, a)
+
+    @given(coords, coords, coords)
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert hex_distance(a, c) <= hex_distance(a, b) + hex_distance(b, c)
+
+    def test_matches_graph_shortest_path(self):
+        """Cube distance equals BFS hops on the hex graph (interior)."""
+        import networkx as nx
+
+        grid = HexGrid(9, 9)
+        g = grid.to_graph().to_networkx()
+        source = grid.gid(4, 4)
+        lengths = nx.single_source_shortest_path_length(g, source)
+        for row in range(9):
+            for col in range(9):
+                expected = hex_distance((4, 4), (row, col))
+                assert lengths[grid.gid(row, col)] == expected
+
+
+class TestRingsAndRanges:
+    @pytest.mark.parametrize("radius,count", [(0, 1), (1, 6), (2, 12), (3, 18)])
+    def test_ring_sizes(self, radius, count):
+        center = offset_to_cube(10, 10)
+        ring = cube_ring(center, radius)
+        assert len(ring) == count
+        assert all(cube_distance(center, c) == radius for c in ring)
+
+    def test_ring_negative_radius(self):
+        with pytest.raises(ValueError):
+            cube_ring((0, 0, 0), -1)
+
+    @pytest.mark.parametrize("radius", [0, 1, 2, 4])
+    def test_range_is_union_of_rings(self, radius):
+        center = offset_to_cube(10, 10)
+        cells = set(cube_range(center, radius))
+        assert len(cells) == 1 + 3 * radius * (radius + 1)
+        assert all(cube_distance(center, c) <= radius for c in cells)
+
+    def test_hexes_within_clips_to_bounds(self):
+        cells = hexes_within((0, 0), 2, rows=8, cols=8)
+        assert (0, 0) in cells
+        assert all(0 <= r < 8 and 0 <= c < 8 for r, c in cells)
+        assert len(cells) < 19  # corner: part of the disc is off-board
+
+
+class TestHexLine:
+    def test_endpoints_included(self):
+        line = hex_line((0, 0), (4, 4))
+        assert line[0] == (0, 0)
+        assert line[-1] == (4, 4)
+
+    def test_length_is_distance_plus_one(self):
+        a, b = (2, 1), (7, 9)
+        assert len(hex_line(a, b)) == hex_distance(a, b) + 1
+
+    def test_consecutive_cells_adjacent(self):
+        line = hex_line((0, 0), (6, 3))
+        for u, v in zip(line, line[1:]):
+            assert hex_distance(u, v) == 1
+
+    def test_degenerate_line(self):
+        assert hex_line((3, 3), (3, 3)) == [(3, 3)]

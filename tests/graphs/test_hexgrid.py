@@ -1,0 +1,108 @@
+"""Tests for hexagonal grids."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import HexGrid, battlefield_grid, hex32, hex64, hex96, hex_grid
+
+
+class TestHexGrid:
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            HexGrid(0, 5)
+        with pytest.raises(ValueError):
+            HexGrid(3, -1)
+
+    def test_num_cells(self):
+        assert HexGrid(4, 8).num_cells == 32
+
+    def test_gid_rc_roundtrip(self):
+        grid = HexGrid(5, 7)
+        for row in range(5):
+            for col in range(7):
+                assert grid.rc(grid.gid(row, col)) == (row, col)
+
+    def test_gid_is_row_major_one_based(self):
+        grid = HexGrid(3, 4)
+        assert grid.gid(0, 0) == 1
+        assert grid.gid(0, 3) == 4
+        assert grid.gid(1, 0) == 5
+        assert grid.gid(2, 3) == 12
+
+    def test_out_of_bounds_raises(self):
+        grid = HexGrid(2, 2)
+        with pytest.raises(KeyError):
+            grid.gid(2, 0)
+        with pytest.raises(KeyError):
+            grid.rc(5)
+        with pytest.raises(KeyError):
+            grid.rc(0)
+
+    def test_interior_cell_has_six_neighbors(self):
+        grid = HexGrid(5, 5)
+        assert len(grid.neighbor_cells(2, 2)) == 6
+
+    def test_corner_cells_have_fewer_neighbors(self):
+        grid = HexGrid(5, 5)
+        for r, c in ((0, 0), (0, 4), (4, 0), (4, 4)):
+            assert 2 <= len(grid.neighbor_cells(r, c)) <= 4
+
+    def test_neighbors_symmetric(self):
+        grid = HexGrid(6, 6)
+        for r in range(6):
+            for c in range(6):
+                for nr, nc in grid.neighbor_cells(r, c):
+                    assert (r, c) in grid.neighbor_cells(nr, nc)
+
+    def test_even_and_odd_rows_differ(self):
+        grid = HexGrid(4, 4)
+        even = set(grid.neighbor_cells(2, 2))
+        odd = set(grid.neighbor_cells(1, 2))
+        # Offset rows shift diagonals to opposite sides.
+        assert even != odd
+
+    def test_neighbor_directions_indices(self):
+        grid = HexGrid(5, 5)
+        dirs = grid.neighbor_directions(2, 2)
+        assert [d for d, _ in dirs] == [0, 1, 2, 3, 4, 5]
+        assert {cell for _, cell in dirs} == set(grid.neighbor_cells(2, 2))
+
+
+class TestHexGraphs:
+    @pytest.mark.parametrize(
+        "factory,expected_nodes",
+        [(hex32, 32), (hex64, 64), (hex96, 96)],
+    )
+    def test_paper_grids(self, factory, expected_nodes):
+        g = factory()
+        assert g.num_nodes == expected_nodes
+        assert g.is_connected()
+        assert g.max_degree() == 6
+
+    def test_hex_grid_function(self):
+        g = hex_grid(3, 5)
+        assert g.num_nodes == 15
+
+    def test_graph_matches_cell_adjacency(self):
+        grid = HexGrid(4, 4)
+        g = grid.to_graph()
+        for row in range(4):
+            for col in range(4):
+                gid = grid.gid(row, col)
+                expected = sorted(
+                    grid.gid(nr, nc) for nr, nc in grid.neighbor_cells(row, col)
+                )
+                assert list(g.neighbors(gid)) == expected
+
+    def test_battlefield_grid_default(self):
+        grid = battlefield_grid()
+        assert (grid.rows, grid.cols) == (32, 32)
+        g = grid.to_graph()
+        assert g.num_nodes == 1024
+        assert g.is_connected()
+
+    def test_single_cell_grid(self):
+        g = hex_grid(1, 1)
+        assert g.num_nodes == 1
+        assert g.num_edges == 0

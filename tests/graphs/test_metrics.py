@@ -1,0 +1,106 @@
+"""Tests for partition-quality metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    boundary_nodes,
+    communication_volume,
+    edge_cut,
+    load_imbalance,
+    neighbor_processors,
+    part_loads,
+    parts_used,
+    validate_assignment,
+    weighted_edge_cut,
+)
+
+
+@pytest.fixture
+def path4() -> Graph:
+    return Graph.from_edges(4, [(1, 2), (2, 3), (3, 4)])
+
+
+class TestValidate:
+    def test_ok(self, path4):
+        validate_assignment(path4, [0, 0, 1, 1], 2)
+
+    def test_wrong_length(self, path4):
+        with pytest.raises(ValueError):
+            validate_assignment(path4, [0, 0, 1], 2)
+
+    def test_out_of_range_proc(self, path4):
+        with pytest.raises(ValueError):
+            validate_assignment(path4, [0, 0, 2, 1], 2)
+        with pytest.raises(ValueError):
+            validate_assignment(path4, [0, 0, -1, 1], 2)
+
+
+class TestEdgeCut:
+    def test_no_cut_single_part(self, path4):
+        assert edge_cut(path4, [0, 0, 0, 0]) == 0
+
+    def test_middle_split(self, path4):
+        assert edge_cut(path4, [0, 0, 1, 1]) == 1
+
+    def test_alternating_cuts_everything(self, path4):
+        assert edge_cut(path4, [0, 1, 0, 1]) == 3
+
+    def test_weighted(self):
+        g = Graph.from_edges(3, [(1, 2), (2, 3)], edge_weights={(1, 2): 10})
+        assert weighted_edge_cut(g, [0, 1, 1]) == 10
+        assert weighted_edge_cut(g, [0, 0, 1]) == 1
+        assert edge_cut(g, [0, 1, 0]) == 2
+
+
+class TestCommunicationVolume:
+    def test_matches_shadow_count(self, path4):
+        # split [1,2 | 3,4]: node 2 is shadow for proc 1, node 3 for proc 0.
+        assert communication_volume(path4, [0, 0, 1, 1]) == 2
+
+    def test_counts_distinct_procs_only(self):
+        star = Graph.from_edges(4, [(1, 2), (1, 3), (1, 4)])
+        # hub on 0, leaves spread over three procs: hub is shadow for all 3,
+        # each leaf is shadow for the hub's proc.
+        assert communication_volume(star, [0, 1, 2, 3]) == 3 + 3
+
+    def test_zero_when_uncut(self, path4):
+        assert communication_volume(path4, [0] * 4) == 0
+
+
+class TestLoads:
+    def test_part_loads(self, path4):
+        assert part_loads(path4, [0, 0, 1, 1], 2) == [2, 2]
+
+    def test_part_loads_weighted(self):
+        g = Graph.from_edges(2, [(1, 2)], node_weights=[3, 5])
+        assert part_loads(g, [0, 1], 2) == [3, 5]
+
+    def test_imbalance_perfect(self, path4):
+        assert load_imbalance(path4, [0, 0, 1, 1], 2) == 1.0
+
+    def test_imbalance_skewed(self, path4):
+        assert load_imbalance(path4, [0, 0, 0, 1], 2) == pytest.approx(1.5)
+
+    def test_imbalance_empty_part_counts(self, path4):
+        assert load_imbalance(path4, [0, 0, 0, 0], 2) == pytest.approx(2.0)
+
+    def test_parts_used(self, path4):
+        hist = parts_used([0, 0, 1, 1])
+        assert hist[0] == 2 and hist[1] == 2
+
+
+class TestBoundary:
+    def test_boundary_nodes(self, path4):
+        assert boundary_nodes(path4, [0, 0, 1, 1]) == {2, 3}
+
+    def test_no_boundary_single_part(self, path4):
+        assert boundary_nodes(path4, [0] * 4) == set()
+
+    def test_neighbor_processors(self, path4):
+        assignment = [0, 0, 1, 2]
+        assert neighbor_processors(path4, assignment, 0) == {1}
+        assert neighbor_processors(path4, assignment, 1) == {0, 2}
+        assert neighbor_processors(path4, assignment, 2) == {1}

@@ -1,0 +1,65 @@
+"""Tests for derived-datatype emulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi import CHAR, DOUBLE, INT, StructType
+
+
+class TestBasicDatatypes:
+    def test_extents(self):
+        assert INT.extent == 4
+        assert DOUBLE.extent == 8
+        assert CHAR.extent == 1
+
+    def test_size_of_count(self):
+        assert INT.size_of(10) == 40
+        assert DOUBLE.size_of(0) == 0
+
+    def test_size_of_rejects_negative(self):
+        with pytest.raises(ValueError):
+            INT.size_of(-1)
+
+
+class TestStructType:
+    def test_buffer_record_matches_thesis(self):
+        # The thesis commits a two-int struct (globalID, data).
+        record = StructType([(2, INT)], name="buffer_data_node")
+        record.commit()
+        assert record.extent == 8
+        assert record.size_of(5) == 40
+
+    def test_use_before_commit_raises(self):
+        record = StructType([(1, INT)])
+        with pytest.raises(RuntimeError):
+            record.size_of()
+
+    def test_commit_returns_self(self):
+        record = StructType([(1, DOUBLE)])
+        assert record.commit() is record
+        assert record.committed
+
+    def test_mixed_blocks(self):
+        record = StructType([(6, INT), (2, DOUBLE), (1, CHAR)]).commit()
+        assert record.extent == 24 + 16 + 1
+
+    def test_free_uncommits(self):
+        record = StructType([(1, INT)]).commit()
+        record.free()
+        assert not record.committed
+        with pytest.raises(RuntimeError):
+            record.size_of()
+
+    def test_empty_struct_rejected(self):
+        with pytest.raises(ValueError):
+            StructType([]).commit()
+
+    def test_nonpositive_block_count_rejected(self):
+        with pytest.raises(ValueError):
+            StructType([(0, INT)]).commit()
+
+    def test_size_of_rejects_negative_count(self):
+        record = StructType([(1, INT)]).commit()
+        with pytest.raises(ValueError):
+            record.size_of(-2)

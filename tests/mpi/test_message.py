@@ -1,0 +1,51 @@
+"""Tests for message matching and the Status record."""
+
+from __future__ import annotations
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, Message, Status
+
+
+def _msg(src=0, dest=1, tag=0, comm_id=0, **kwargs):
+    defaults = dict(
+        payload="x", nbytes=1, send_time=0.0, arrival_time=0.0
+    )
+    defaults.update(kwargs)
+    return Message(src=src, dest=dest, tag=tag, comm_id=comm_id, **defaults)
+
+
+class TestMatching:
+    def test_exact_match(self):
+        assert _msg(src=2, tag=5).matches(2, 5, 0)
+
+    def test_source_mismatch(self):
+        assert not _msg(src=2).matches(3, ANY_TAG, 0)
+
+    def test_tag_mismatch(self):
+        assert not _msg(tag=5).matches(ANY_SOURCE, 6, 0)
+
+    def test_any_source_matches_all(self):
+        assert _msg(src=7).matches(ANY_SOURCE, ANY_TAG, 0)
+
+    def test_any_tag_matches_all(self):
+        assert _msg(tag=123).matches(ANY_SOURCE, ANY_TAG, 0)
+
+    def test_comm_id_isolation(self):
+        assert not _msg(comm_id=1).matches(ANY_SOURCE, ANY_TAG, 0)
+        assert _msg(comm_id=("a", 1)).matches(ANY_SOURCE, ANY_TAG, ("a", 1))
+
+    def test_seq_is_monotone(self):
+        a, b = _msg(), _msg()
+        assert b.seq > a.seq
+
+
+class TestStatus:
+    def test_defaults(self):
+        status = Status()
+        assert status.source == ANY_SOURCE
+        assert status.tag == ANY_TAG
+        assert status.nbytes == 0
+
+    def test_update_from(self):
+        status = Status()
+        status.update_from(_msg(src=3, tag=9, nbytes=77))
+        assert (status.source, status.tag, status.nbytes) == (3, 9, 77)

@@ -1,0 +1,165 @@
+"""Tests for the machine cost models and payload-size estimation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mpi import ETHERNET_CLUSTER, IDEAL, ORIGIN2000, MachineModel, estimate_nbytes
+
+
+class TestMachineModel:
+    def test_transfer_time_is_alpha_beta(self):
+        model = MachineModel(latency=10e-6, bandwidth=1e6)
+        assert model.transfer_time(0) == pytest.approx(10e-6)
+        assert model.transfer_time(1000) == pytest.approx(10e-6 + 1e-3)
+
+    def test_sender_cpu_scales_with_bytes(self):
+        model = MachineModel(send_overhead=5e-6, per_byte_cpu=1e-9)
+        assert model.sender_cpu(0) == pytest.approx(5e-6)
+        assert model.sender_cpu(1000) == pytest.approx(5e-6 + 1e-6)
+
+    def test_receiver_cpu_scales_with_bytes(self):
+        model = MachineModel(recv_overhead=7e-6, per_byte_cpu=2e-9)
+        assert model.receiver_cpu(500) == pytest.approx(7e-6 + 1e-6)
+
+    def test_barrier_time_single_rank_is_free(self):
+        assert ORIGIN2000.barrier_time(1) == 0.0
+
+    def test_barrier_time_log_tree(self):
+        model = MachineModel(barrier_latency=10e-6)
+        assert model.barrier_time(2) == pytest.approx(10e-6)
+        assert model.barrier_time(8) == pytest.approx(30e-6)
+        assert model.barrier_time(9) == pytest.approx(40e-6)  # ceil(log2 9) = 4
+
+    def test_ideal_model_is_free(self):
+        assert IDEAL.transfer_time(10**6) == 0.0
+        assert IDEAL.sender_cpu(10**6) == 0.0
+        assert IDEAL.receiver_cpu(10**6) == 0.0
+        assert IDEAL.barrier_time(64) == 0.0
+
+    def test_presets_are_distinct(self):
+        assert ORIGIN2000.latency < ETHERNET_CLUSTER.latency
+        assert ORIGIN2000.bandwidth > ETHERNET_CLUSTER.bandwidth
+
+    def test_with_overrides_replaces_selected_fields(self):
+        model = ORIGIN2000.with_overrides(latency=1e-3)
+        assert model.latency == 1e-3
+        assert model.bandwidth == ORIGIN2000.bandwidth
+
+    def test_model_is_frozen(self):
+        with pytest.raises(AttributeError):
+            ORIGIN2000.latency = 0.0  # type: ignore[misc]
+
+
+class TestEstimateNbytes:
+    def test_none_is_zero(self):
+        assert estimate_nbytes(None) == 0
+
+    @pytest.mark.parametrize("value", [0, 1, -17, 3.14, True, 2 + 3j])
+    def test_scalars_are_eight_bytes(self, value):
+        assert estimate_nbytes(value) == 8
+
+    def test_bytes_count_their_length(self):
+        assert estimate_nbytes(b"abcd") == 4
+        assert estimate_nbytes(bytearray(10)) == 10
+
+    def test_str_counts_utf8(self):
+        assert estimate_nbytes("abc") == 3
+        assert estimate_nbytes("é") == 2  # two UTF-8 bytes
+
+    def test_numpy_array_uses_true_nbytes(self):
+        arr = np.zeros(100, dtype=np.float64)
+        assert estimate_nbytes(arr) == 800
+
+    def test_list_adds_header_plus_items(self):
+        assert estimate_nbytes([1, 2, 3]) == 16 + 24
+
+    def test_tuple_same_as_list(self):
+        assert estimate_nbytes((1, 2, 3)) == estimate_nbytes([1, 2, 3])
+
+    def test_nested_containers(self):
+        value = [[1, 2], [3]]
+        assert estimate_nbytes(value) == 16 + (16 + 16) + (16 + 8)
+
+    def test_dict_counts_keys_and_values(self):
+        assert estimate_nbytes({1: 2}) == 16 + 8 + 8
+
+    def test_object_with_nbytes_attribute_wins(self):
+        class Fat:
+            nbytes = 12345
+
+        assert estimate_nbytes(Fat()) == 12345
+
+    def test_dataclass_sums_fields(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class Pair:
+            a: int
+            b: float
+
+        assert estimate_nbytes(Pair(1, 2.0)) == 16 + 16
+
+    def test_empty_containers(self):
+        assert estimate_nbytes([]) == 16
+        assert estimate_nbytes({}) == 16
+        assert estimate_nbytes("") == 0
+
+    def test_fallback_pickles_unknown_objects(self):
+        class Strange:
+            pass
+
+        assert estimate_nbytes(Strange()) > 0
+
+
+class TestTopologyMachineModel:
+    def _model(self, hop_factor=1.0):
+        from repro.mpi import ORIGIN2000, TopologyMachineModel
+        from repro.partitioning import ProcessorGraph
+
+        return TopologyMachineModel.wrap(
+            ORIGIN2000, ProcessorGraph.hypercube(8), hop_latency_factor=hop_factor
+        )
+
+    def test_one_hop_matches_base(self):
+        from repro.mpi import ORIGIN2000
+
+        model = self._model()
+        assert model.transfer_time_between(100, 0, 1) == pytest.approx(
+            ORIGIN2000.transfer_time(100)
+        )
+
+    def test_latency_grows_with_hops(self):
+        model = self._model(hop_factor=0.5)
+        # 0 -> 7 is 3 hops on the 8-hypercube
+        t1 = model.transfer_time_between(0, 0, 1)
+        t3 = model.transfer_time_between(0, 0, 7)
+        assert t3 == pytest.approx(t1 * (1 + 0.5 * 2))
+
+    def test_bandwidth_term_is_hop_independent(self):
+        model = self._model(hop_factor=1.0)
+        big = 10**6
+        near = model.transfer_time_between(big, 0, 1)
+        far = model.transfer_time_between(big, 0, 7)
+        # the payload term dominates and is identical; only latency differs
+        assert far - near == pytest.approx(model.latency * 2)
+
+    def test_out_of_table_ranks_default_to_one_hop(self):
+        model = self._model()
+        assert model.hop_distance(0, 99) == 1.0
+
+    def test_wrap_preserves_base_fields(self):
+        from repro.mpi import ORIGIN2000
+
+        model = self._model()
+        assert model.bandwidth == ORIGIN2000.bandwidth
+        assert model.send_overhead == ORIGIN2000.send_overhead
+        assert model.name.endswith("+topology")
+
+    def test_self_distance_zero_means_base_latency_scale_one(self):
+        model = self._model()
+        # distance 0 -> scale clamps at 1.0 (max(0, -1) term)
+        assert model.transfer_time_between(0, 3, 3) == pytest.approx(model.latency)

@@ -1,0 +1,119 @@
+"""Tests for the band partitioners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import HexGrid
+from repro.partitioning import (
+    ColumnBandPartitioner,
+    RectangularPartitioner,
+    RowBandPartitioner,
+    balanced_factor_pair,
+)
+
+
+@pytest.fixture(scope="module")
+def grid8():
+    return HexGrid(8, 8)
+
+
+@pytest.fixture(scope="module")
+def graph8(grid8):
+    return grid8.to_graph()
+
+
+class TestFactorPair:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, (1, 1)), (2, (1, 2)), (4, (2, 2)), (6, (2, 3)), (12, (3, 4)),
+         (16, (4, 4)), (7, (1, 7)), (36, (6, 6))],
+    )
+    def test_pairs(self, n, expected):
+        assert balanced_factor_pair(n) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            balanced_factor_pair(0)
+
+
+class TestRowBand:
+    def test_rows_stay_together(self, grid8, graph8):
+        p = RowBandPartitioner(8, 8).partition(graph8, 4)
+        for row in range(8):
+            owners = {p.owner(grid8.gid(row, c)) for c in range(8)}
+            assert len(owners) == 1
+
+    def test_bands_are_contiguous_and_ordered(self, grid8, graph8):
+        p = RowBandPartitioner(8, 8).partition(graph8, 4)
+        band_of_row = [p.owner(grid8.gid(r, 0)) for r in range(8)]
+        assert band_of_row == sorted(band_of_row)
+        assert band_of_row == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_balanced(self, graph8):
+        p = RowBandPartitioner(8, 8).partition(graph8, 4)
+        assert p.loads() == [16, 16, 16, 16]
+
+    def test_more_parts_than_rows(self, graph8):
+        p = RowBandPartitioner(8, 8).partition(graph8, 16)
+        # only 8 rows -> at most 8 bands used
+        assert len({x for x in p.assignment}) == 8
+
+    def test_wrong_graph_size_rejected(self, graph8):
+        with pytest.raises(ValueError):
+            RowBandPartitioner(4, 4).partition(graph8, 2)
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            RowBandPartitioner(0, 4)
+
+
+class TestColumnBand:
+    def test_columns_stay_together(self, grid8, graph8):
+        p = ColumnBandPartitioner(8, 8).partition(graph8, 4)
+        for col in range(8):
+            owners = {p.owner(grid8.gid(r, col)) for r in range(8)}
+            assert len(owners) == 1
+
+    def test_balanced(self, graph8):
+        p = ColumnBandPartitioner(8, 8).partition(graph8, 2)
+        assert p.loads() == [32, 32]
+
+    def test_nonsquare_grid(self):
+        grid = HexGrid(4, 12)
+        g = grid.to_graph()
+        p = ColumnBandPartitioner(4, 12).partition(g, 3)
+        assert p.loads() == [16, 16, 16]
+
+
+class TestRectangular:
+    def test_blocks_are_rectangles(self, grid8, graph8):
+        p = RectangularPartitioner(8, 8).partition(graph8, 4)
+        # 2x2 arrangement: each part owns a 4x4 block.
+        assert p.loads() == [16, 16, 16, 16]
+        owners = {
+            (r // 4, c // 4): p.owner(grid8.gid(r, c))
+            for r in range(8)
+            for c in range(8)
+        }
+        assert len(set(owners.values())) == 4
+
+    def test_lower_cut_than_bands_at_16(self):
+        grid = HexGrid(32, 32)
+        g = grid.to_graph()
+        rect = RectangularPartitioner(32, 32).partition(g, 16)
+        row = RowBandPartitioner(32, 32).partition(g, 16)
+        col = ColumnBandPartitioner(32, 32).partition(g, 16)
+        assert rect.edge_cut() < row.edge_cut()
+        assert rect.edge_cut() < col.edge_cut()
+
+    def test_prime_parts_degrade_to_bands(self, graph8):
+        p = RectangularPartitioner(8, 8).partition(graph8, 7)
+        assert sum(p.loads()) == 64
+
+    def test_orients_with_grid(self):
+        grid = HexGrid(4, 16)
+        g = grid.to_graph()
+        p = RectangularPartitioner(4, 16).partition(g, 8)
+        # 8 = 2x4 should orient 2 bands along rows (4) and 4 along cols (16)
+        assert p.imbalance() == 1.0

@@ -1,0 +1,63 @@
+"""Tests for the Partition result type and partitioner base."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import Graph
+from repro.partitioning import Partition, RoundRobinPartitioner
+
+
+@pytest.fixture
+def path4() -> Graph:
+    return Graph.from_edges(4, [(1, 2), (2, 3), (3, 4)])
+
+
+class TestPartition:
+    def test_from_assignment(self, path4):
+        p = Partition.from_assignment(path4, [0, 0, 1, 1], 2, method="manual")
+        assert p.assignment == (0, 0, 1, 1)
+        assert p.method == "manual"
+
+    def test_validation_runs_at_construction(self, path4):
+        with pytest.raises(ValueError):
+            Partition.from_assignment(path4, [0, 0, 5, 1], 2)
+        with pytest.raises(ValueError):
+            Partition.from_assignment(path4, [0, 0], 2)
+
+    def test_metrics_delegation(self, path4):
+        p = Partition.from_assignment(path4, [0, 0, 1, 1], 2)
+        assert p.edge_cut() == 1
+        assert p.weighted_edge_cut() == 1
+        assert p.communication_volume() == 2
+        assert p.loads() == [2, 2]
+        assert p.imbalance() == 1.0
+
+    def test_owner_and_nodes_of(self, path4):
+        p = Partition.from_assignment(path4, [0, 1, 1, 0], 2)
+        assert p.owner(2) == 1
+        assert p.nodes_of(0) == [1, 4]
+        assert p.nodes_of(1) == [2, 3]
+
+    def test_str_mentions_method_and_cut(self, path4):
+        p = Partition.from_assignment(path4, [0, 0, 1, 1], 2, method="x")
+        assert "x" in str(p)
+        assert "cut=1" in str(p)
+
+    def test_empty_processor_allowed(self, path4):
+        p = Partition.from_assignment(path4, [0, 0, 0, 0], 3)
+        assert p.loads() == [4, 0, 0]
+
+
+class TestPartitionerBase:
+    def test_nparts_one_shortcut(self, path4):
+        p = RoundRobinPartitioner().partition(path4, 1)
+        assert set(p.assignment) == {0}
+
+    def test_zero_nparts_rejected(self, path4):
+        with pytest.raises(ValueError):
+            RoundRobinPartitioner().partition(path4, 0)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinPartitioner().partition(Graph([]), 2)

@@ -1,0 +1,84 @@
+"""Tests for the gray-code mesh-to-hypercube embedding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import HexGrid, grid2d
+from repro.partitioning import GrayCodePartitioner, gray_code, gray_decode
+
+
+class TestGrayCode:
+    @pytest.mark.parametrize("n", range(64))
+    def test_decode_inverts_encode(self, n):
+        assert gray_decode(gray_code(n)) == n
+
+    def test_consecutive_codes_differ_in_one_bit(self):
+        for n in range(255):
+            diff = gray_code(n) ^ gray_code(n + 1)
+            assert diff and diff & (diff - 1) == 0  # single bit
+
+    def test_known_prefix(self):
+        assert [gray_code(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray_code(-1)
+        with pytest.raises(ValueError):
+            gray_decode(-1)
+
+
+class TestGrayCodePartitioner:
+    def test_adjacent_mesh_cells_land_on_hypercube_neighbors(self):
+        """The embedding's defining property: stepping one cell in either
+        mesh axis flips exactly one processor-address bit."""
+        rows = cols = 8
+        g = grid2d(rows, cols)
+        p = GrayCodePartitioner(rows, cols).partition(g, 16)
+        for u, v in g.edges():
+            pu, pv = p.owner(u), p.owner(v)
+            diff = pu ^ pv
+            assert diff != 0, f"mesh neighbours {u},{v} on same processor"
+            assert diff & (diff - 1) == 0, "not a hypercube neighbour"
+
+    def test_scatters_hex_neighbors(self):
+        grid = HexGrid(16, 16)
+        g = grid.to_graph()
+        p = GrayCodePartitioner(16, 16).partition(g, 16)
+        # "a hex and its six neighbors are allocated to different processors"
+        # holds for the 4 axis-aligned directions; diagonals may coincide.
+        cut_fraction = p.edge_cut() / g.num_edges
+        assert cut_fraction > 0.9
+
+    def test_balanced(self):
+        grid = HexGrid(32, 32)
+        g = grid.to_graph()
+        p = GrayCodePartitioner(32, 32).partition(g, 16)
+        assert p.imbalance() == 1.0
+
+    def test_rejects_non_power_of_two(self):
+        g = HexGrid(4, 4).to_graph()
+        with pytest.raises(ValueError, match="power-of-two"):
+            GrayCodePartitioner(4, 4).partition(g, 6)
+
+    def test_rejects_wrong_graph_size(self):
+        g = HexGrid(4, 4).to_graph()
+        with pytest.raises(ValueError):
+            GrayCodePartitioner(8, 8).partition(g, 4)
+
+    def test_nparts_one(self):
+        g = HexGrid(4, 4).to_graph()
+        p = GrayCodePartitioner(4, 4).partition(g, 1)
+        assert set(p.assignment) == {0}
+
+    def test_two_procs_split_by_one_axis(self):
+        g = grid2d(4, 4)
+        p = GrayCodePartitioner(4, 4).partition(g, 2)
+        assert set(p.assignment) == {0, 1}
+        assert p.imbalance() == 1.0
+
+    def test_uses_all_processors(self):
+        grid = HexGrid(32, 32)
+        g = grid.to_graph()
+        p = GrayCodePartitioner(32, 32).partition(g, 16)
+        assert len(set(p.assignment)) == 16

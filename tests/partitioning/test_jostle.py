@@ -1,0 +1,89 @@
+"""Tests for the Jostle-like diffusive partitioner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import hex64, random_connected_graph, validate_assignment
+from repro.partitioning import (
+    JostleLikePartitioner,
+    MetisLikePartitioner,
+    RandomPartitioner,
+)
+from repro.partitioning.jostle import diffusion_flows
+
+
+class TestDiffusionFlows:
+    def test_flat_loads_no_flow(self):
+        flows = diffusion_flows([1.0, 1.0], {(0, 1)})
+        assert flows[(0, 1)] == pytest.approx(0.0)
+
+    def test_flow_runs_downhill(self):
+        flows = diffusion_flows([4.0, 0.0], {(0, 1)})
+        assert flows[(0, 1)] > 0
+
+    def test_flow_converges_toward_half_the_gap(self):
+        flows = diffusion_flows([4.0, 0.0], {(0, 1)}, rounds=200)
+        assert flows[(0, 1)] == pytest.approx(2.0, rel=0.05)
+
+    def test_chain_propagates(self):
+        # loads 3-0-0 on a path: flow must reach the far end through the middle
+        flows = diffusion_flows([3.0, 0.0, 0.0], {(0, 1), (1, 2)}, rounds=300)
+        assert flows[(0, 1)] > flows[(1, 2)] > 0
+
+    def test_isolated_parts_get_nothing(self):
+        flows = diffusion_flows([5.0, 1.0, 1.0], {(1, 2)})
+        assert (0, 1) not in flows
+
+
+class TestJostleLike:
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_valid_and_reasonably_balanced(self, k):
+        g = hex64()
+        p = JostleLikePartitioner(seed=1).partition(g, k)
+        validate_assignment(g, p.assignment, k)
+        assert p.imbalance() <= 1.5
+
+    def test_better_cut_than_random(self):
+        g = hex64()
+        jostle = JostleLikePartitioner(seed=1).partition(g, 4)
+        rand = RandomPartitioner(seed=1).partition(g, 4)
+        assert jostle.edge_cut() < rand.edge_cut()
+
+    def test_same_league_as_metis(self):
+        g = random_connected_graph(64, 4.0, seed=2)
+        jostle = JostleLikePartitioner(seed=1).partition(g, 4)
+        metis = MetisLikePartitioner(seed=1).partition(g, 4)
+        assert jostle.edge_cut() <= 2.0 * metis.edge_cut()
+
+    def test_deterministic(self):
+        g = random_connected_graph(48, 4.0, seed=5)
+        a = JostleLikePartitioner(seed=3).partition(g, 4)
+        b = JostleLikePartitioner(seed=3).partition(g, 4)
+        assert a.assignment == b.assignment
+
+    def test_weighted_nodes_balanced_by_weight(self):
+        g = hex64().with_node_weights(
+            [8 if gid <= 8 else 1 for gid in range(1, 65)]
+        )
+        p = JostleLikePartitioner(seed=1).partition(g, 4)
+        loads = p.loads()
+        mean = sum(loads) / 4
+        assert max(loads) <= mean * 1.6
+
+    def test_single_part(self):
+        g = random_connected_graph(10, seed=0)
+        assert set(JostleLikePartitioner().partition(g, 1).assignment) == {0}
+
+    def test_runs_on_platform(self):
+        from repro.apps import make_average_fn
+        from repro.core import PlatformConfig, run_platform
+        from repro.mpi import IDEAL
+
+        g = hex64()
+        p = JostleLikePartitioner(seed=1).partition(g, 4)
+        result = run_platform(
+            g, make_average_fn(0.0), p,
+            config=PlatformConfig(iterations=3), machine=IDEAL, init_value=float,
+        )
+        assert len(result.values) == 64

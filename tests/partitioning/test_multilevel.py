@@ -1,0 +1,273 @@
+"""Tests for the multilevel k-way machinery (matching, coarsening,
+initial partitioning, refinement, and the Metis-like driver)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import Graph, edge_cut, hex64, random_connected_graph, star_graph
+from repro.partitioning import (
+    MetisLikePartitioner,
+    RandomPartitioner,
+    RoundRobinPartitioner,
+)
+from repro.partitioning.multilevel import (
+    CoarseLevel,
+    coarsen,
+    contract,
+    fm_refine,
+    greedy_bisection,
+    heavy_edge_matching,
+    move_gains,
+    random_matching,
+    rebalance,
+    recursive_bisection,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+def _check_matching(graph: Graph, match: list[int]) -> None:
+    for gid in graph.nodes():
+        partner = match[gid - 1]
+        assert 1 <= partner <= graph.num_nodes
+        assert match[partner - 1] == gid, "matching must be symmetric"
+        if partner != gid:
+            assert graph.has_edge(gid, partner), "matched pairs must be adjacent"
+
+
+class TestMatching:
+    @pytest.mark.parametrize("matcher", [heavy_edge_matching, random_matching])
+    def test_valid_matching(self, matcher, rng):
+        g = random_connected_graph(40, seed=5)
+        _check_matching(g, matcher(g, rng))
+
+    def test_heavy_edge_prefers_heavy(self, rng):
+        g = Graph.from_edges(
+            4, [(1, 2), (1, 3), (1, 4)], edge_weights={(1, 3): 100}
+        )
+        match = heavy_edge_matching(g, rng)
+        assert match[0] == 3 and match[2] == 1
+
+    def test_isolated_vertex_stays_single(self, rng):
+        g = Graph([[2], [1], []])
+        match = heavy_edge_matching(g, rng)
+        assert match[2] == 3
+
+    def test_matching_on_star_leaves_most_single(self, rng):
+        g = star_graph(6)
+        match = heavy_edge_matching(g, rng)
+        matched = sum(1 for gid in g.nodes() if match[gid - 1] != gid)
+        assert matched == 2  # hub pairs with exactly one leaf
+
+
+class TestContract:
+    def test_weights_conserved(self, rng):
+        g = random_connected_graph(30, seed=1).with_node_weights(
+            [((i * 7) % 5) + 1 for i in range(30)]
+        )
+        level = contract(g, heavy_edge_matching(g, rng))
+        assert level.graph.total_node_weight() == g.total_node_weight()
+
+    def test_projection_preserves_cut(self, rng):
+        """A coarse partition's weighted cut equals the projected fine cut --
+        the invariant multilevel partitioning rests on."""
+        g = random_connected_graph(40, seed=2)
+        level = contract(g, heavy_edge_matching(g, rng))
+        coarse_assignment = [
+            cid % 3 for cid in range(1, level.graph.num_nodes + 1)
+        ]
+        fine_assignment = level.project(coarse_assignment)
+        from repro.graphs import weighted_edge_cut
+
+        assert weighted_edge_cut(level.graph, coarse_assignment) == weighted_edge_cut(
+            g, fine_assignment
+        )
+
+    def test_shrinks_graph(self, rng):
+        g = hex64()
+        level = contract(g, heavy_edge_matching(g, rng))
+        assert level.graph.num_nodes < g.num_nodes
+        assert level.graph.num_nodes >= g.num_nodes // 2
+
+    def test_inconsistent_matching_rejected(self):
+        g = Graph.from_edges(3, [(1, 2), (2, 3)])
+        with pytest.raises(ValueError):
+            contract(g, [2, 3, 2])  # not symmetric
+
+    def test_wrong_length_rejected(self):
+        g = Graph.from_edges(2, [(1, 2)])
+        with pytest.raises(ValueError):
+            contract(g, [1])
+
+
+class TestCoarsen:
+    def test_ladder_reaches_target(self, rng):
+        g = random_connected_graph(120, seed=3)
+        levels = coarsen(g, min_nodes=20, rng=rng)
+        assert levels
+        assert levels[-1].graph.num_nodes <= 40  # within a factor of target
+
+    def test_small_graph_no_levels(self, rng):
+        g = random_connected_graph(10, seed=0)
+        assert coarsen(g, min_nodes=20, rng=rng) == []
+
+    def test_monotone_shrinkage(self, rng):
+        g = random_connected_graph(100, seed=4)
+        levels = coarsen(g, min_nodes=10, rng=rng)
+        sizes = [g.num_nodes] + [lv.graph.num_nodes for lv in levels]
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+
+class TestRefine:
+    def test_move_gains_signs(self):
+        g = Graph.from_edges(4, [(1, 2), (2, 3), (3, 4)])
+        assignment = [0, 0, 1, 1]
+        gains = move_gains(g, assignment, 2)
+        # moving node 2 to part 1: gains edge (2,3), loses edge (1,2) -> 0
+        assert gains == {1: 0}
+
+    def test_fm_never_worsens_cut(self, rng):
+        g = random_connected_graph(50, seed=6)
+        assignment = list(RandomPartitioner(seed=1).partition(g, 4).assignment)
+        before = edge_cut(g, assignment)
+        targets = [g.total_node_weight() / 4] * 4
+        fm_refine(g, assignment, 4, targets, rng)
+        assert edge_cut(g, assignment) <= before
+
+    def test_fm_improves_random_partition(self, rng):
+        g = hex64()
+        assignment = list(RandomPartitioner(seed=1).partition(g, 4).assignment)
+        before = edge_cut(g, assignment)
+        fm_refine(g, assignment, 4, [16.0] * 4, rng)
+        assert edge_cut(g, assignment) < before
+
+    def test_fm_respects_balance_cap(self, rng):
+        g = random_connected_graph(40, seed=7)
+        assignment = list(RoundRobinPartitioner().partition(g, 4).assignment)
+        fm_refine(g, assignment, 4, [10.0] * 4, rng, tolerance=1.1)
+        loads = [assignment.count(p) for p in range(4)]
+        assert max(loads) <= 11
+
+    def test_rebalance_fixes_overload(self, rng):
+        g = random_connected_graph(40, seed=8)
+        assignment = [0] * 40  # everything on one part
+        rebalance(g, assignment, 4, [10.0] * 4, rng)
+        loads = [assignment.count(p) for p in range(4)]
+        assert max(loads) <= 11
+
+    def test_fm_wrong_targets_rejected(self, rng):
+        g = random_connected_graph(10, seed=0)
+        with pytest.raises(ValueError):
+            fm_refine(g, [0] * 10, 2, [5.0], rng)
+
+
+class TestInitial:
+    def test_bisection_balance(self, rng):
+        g = random_connected_graph(60, seed=9)
+        assignment = greedy_bisection(g, 0.5, rng)
+        loads = [assignment.count(0), assignment.count(1)]
+        assert abs(loads[0] - loads[1]) <= 8
+
+    def test_bisection_asymmetric_fraction(self, rng):
+        g = random_connected_graph(60, seed=10)
+        assignment = greedy_bisection(g, 0.25, rng)
+        assert 9 <= assignment.count(0) <= 21
+
+    def test_bisection_rejects_bad_fraction(self, rng):
+        g = random_connected_graph(10, seed=0)
+        with pytest.raises(ValueError):
+            greedy_bisection(g, 0.0, rng)
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 8])
+    def test_recursive_bisection_covers_all_parts(self, rng, k):
+        g = random_connected_graph(64, seed=11)
+        assignment = recursive_bisection(g, k, rng)
+        assert set(assignment) == set(range(k))
+
+    def test_recursive_bisection_proportions(self, rng):
+        g = random_connected_graph(60, seed=12)
+        assignment = recursive_bisection(g, 2, rng, proportions=[3.0, 1.0])
+        assert assignment.count(0) > assignment.count(1)
+
+    def test_recursive_bisection_rejects_bad_proportions(self, rng):
+        g = random_connected_graph(10, seed=0)
+        with pytest.raises(ValueError):
+            recursive_bisection(g, 2, rng, proportions=[1.0])
+        with pytest.raises(ValueError):
+            recursive_bisection(g, 2, rng, proportions=[1.0, -1.0])
+
+
+class TestMetisLike:
+    @pytest.mark.parametrize("k", [2, 3, 4, 7, 8, 16])
+    def test_valid_and_balanced(self, k):
+        g = hex64()
+        p = MetisLikePartitioner(seed=1).partition(g, k)
+        assert set(p.assignment) <= set(range(k))
+        assert p.imbalance() <= 1.35
+
+    def test_beats_baselines_on_mesh(self):
+        g = hex64()
+        metis = MetisLikePartitioner(seed=1).partition(g, 8)
+        rr = RoundRobinPartitioner().partition(g, 8)
+        rand = RandomPartitioner(seed=1).partition(g, 8)
+        assert metis.edge_cut() < rr.edge_cut() * 0.6
+        assert metis.edge_cut() < rand.edge_cut() * 0.6
+
+    def test_deterministic(self):
+        g = random_connected_graph(64, seed=13)
+        a = MetisLikePartitioner(seed=5).partition(g, 8)
+        b = MetisLikePartitioner(seed=5).partition(g, 8)
+        assert a.assignment == b.assignment
+
+    def test_more_trials_never_hurts(self):
+        g = random_connected_graph(64, seed=14)
+        one = MetisLikePartitioner(seed=5, trials=1).partition(g, 8)
+        four = MetisLikePartitioner(seed=5, trials=4).partition(g, 8)
+        assert four.edge_cut() <= one.edge_cut()
+
+    def test_proportional_partitioning(self):
+        g = hex64()
+        p = MetisLikePartitioner(seed=1, proportions=[3, 1]).partition(g, 2)
+        loads = p.loads()
+        assert loads[0] > 2 * loads[1]
+
+    def test_random_matching_variant(self):
+        g = hex64()
+        p = MetisLikePartitioner(seed=1, matching="random").partition(g, 4)
+        assert p.imbalance() <= 1.35
+
+    def test_invalid_matching_rejected(self):
+        with pytest.raises(ValueError):
+            MetisLikePartitioner(matching="bogus")
+
+    def test_invalid_trials_rejected(self):
+        with pytest.raises(ValueError):
+            MetisLikePartitioner(trials=0)
+
+    def test_weighted_nodes_balanced_by_weight(self):
+        g = hex64().with_node_weights([10 if gid <= 8 else 1 for gid in range(1, 65)])
+        p = MetisLikePartitioner(seed=1).partition(g, 4)
+        loads = p.loads()
+        mean = sum(loads) / 4
+        assert max(loads) <= mean * 1.35
+
+    def test_handles_tree(self):
+        from repro.graphs import binary_tree
+
+        g = binary_tree(5)  # 63 nodes
+        p = MetisLikePartitioner(seed=2).partition(g, 4)
+        assert p.imbalance() <= 1.4
+        assert p.edge_cut() <= 12
+
+    def test_nparts_equal_nodes(self):
+        g = random_connected_graph(8, seed=0)
+        p = MetisLikePartitioner(seed=1).partition(g, 8)
+        loads = p.loads()
+        assert sum(loads) == 8
+        assert max(loads) <= 2  # single-vertex headroom above the target

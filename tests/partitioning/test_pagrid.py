@@ -1,0 +1,99 @@
+"""Tests for the PaGrid-like architecture-aware partitioner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import hex64, random_connected_graph
+from repro.partitioning import (
+    MetisLikePartitioner,
+    PaGridLikePartitioner,
+    ProcessorGraph,
+)
+
+
+@pytest.fixture(scope="module")
+def hypercube8():
+    return ProcessorGraph.hypercube(8)
+
+
+class TestBasics:
+    def test_valid_partition(self, hypercube8):
+        g = hex64()
+        p = PaGridLikePartitioner(hypercube8, seed=1).partition(g, 8)
+        assert len(set(p.assignment)) <= 8
+        assert sum(p.loads()) == 64
+
+    def test_nparts_must_match_procgraph(self, hypercube8):
+        g = hex64()
+        with pytest.raises(ValueError, match="match"):
+            PaGridLikePartitioner(hypercube8).partition(g, 4)
+
+    def test_rref_validated(self, hypercube8):
+        with pytest.raises(ValueError):
+            PaGridLikePartitioner(hypercube8, rref=-0.1)
+
+    def test_deterministic(self, hypercube8):
+        g = random_connected_graph(48, seed=3)
+        a = PaGridLikePartitioner(hypercube8, seed=2).partition(g, 8)
+        b = PaGridLikePartitioner(hypercube8, seed=2).partition(g, 8)
+        assert a.assignment == b.assignment
+
+    def test_nparts_one(self):
+        pg = ProcessorGraph.hypercube(1)
+        g = random_connected_graph(10, seed=0)
+        p = PaGridLikePartitioner(pg).partition(g, 1)
+        assert set(p.assignment) == {0}
+
+
+class TestArchitectureAwareness:
+    def test_estimated_times_reasonable(self, hypercube8):
+        g = hex64()
+        partitioner = PaGridLikePartitioner(hypercube8, seed=1)
+        p = partitioner.partition(g, 8)
+        times = partitioner._estimated_times(g, list(p.assignment), 8)
+        assert all(t > 0 for t in times)
+        assert max(times) / (sum(times) / 8) < 2.0
+
+    def test_mapping_improves_on_expensive_links(self):
+        """On a heterogeneous grid (cheap intra-cluster, expensive
+        inter-cluster links), the PaGrid objective should place heavily
+        communicating parts inside clusters."""
+        pg = ProcessorGraph.heterogeneous_grid([2, 2], intra_cost=1.0, inter_cost=20.0)
+        g = hex64()
+        pagrid = PaGridLikePartitioner(pg, rref=0.45, seed=1).partition(g, 4)
+        metis = MetisLikePartitioner(seed=1).partition(g, 4)
+
+        def mapped_cost(partition):
+            return sum(
+                g.edge_weight(u, v) * pg.distance(partition.owner(u), partition.owner(v))
+                for u, v in g.edges()
+                if partition.owner(u) != partition.owner(v)
+            )
+
+        # PaGrid optimizes max estimated time, not pure mapped cost, so a
+        # small margin is allowed; it must still be in the same league.
+        assert mapped_cost(pagrid) <= 1.1 * mapped_cost(metis)
+
+    def test_fast_processors_get_more_load(self):
+        pg = ProcessorGraph.fully_connected(2)
+        pg_fast = ProcessorGraph(2, [(0, 1, 1.0)], speeds=[3.0, 1.0])
+        g = hex64()
+        p = PaGridLikePartitioner(pg_fast, seed=1).partition(g, 2)
+        loads = p.loads()
+        assert loads[0] > loads[1]
+
+    def test_rref_zero_reduces_to_load_balance(self):
+        """With no communication term the refinement should keep loads tight."""
+        pg = ProcessorGraph.hypercube(4)
+        g = random_connected_graph(40, seed=5)
+        p = PaGridLikePartitioner(pg, rref=0.0, seed=1).partition(g, 4)
+        assert p.imbalance() <= 1.35
+
+    def test_competitive_edge_cut_on_hypercube(self, hypercube8):
+        """On a uniform hypercube PaGrid should be in the same quality
+        league as the Metis-like partitioner (within 2x on edge cut)."""
+        g = random_connected_graph(64, seed=8)
+        pagrid = PaGridLikePartitioner(hypercube8, seed=1).partition(g, 8)
+        metis = MetisLikePartitioner(seed=1).partition(g, 8)
+        assert pagrid.edge_cut() <= 2 * metis.edge_cut()

@@ -1,0 +1,76 @@
+"""Property-based tests: every partitioner yields valid partitions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import random_connected_graph, validate_assignment
+from repro.partitioning import (
+    BfsGreedyPartitioner,
+    MetisLikePartitioner,
+    PaGridLikePartitioner,
+    ProcessorGraph,
+    RandomPartitioner,
+    RoundRobinPartitioner,
+    SpectralPartitioner,
+)
+
+PARTITIONERS = [
+    RoundRobinPartitioner(),
+    RandomPartitioner(seed=0),
+    BfsGreedyPartitioner(seed=0),
+    MetisLikePartitioner(seed=0, trials=1),
+    SpectralPartitioner(seed=0),
+]
+
+
+@given(
+    n=st.integers(min_value=2, max_value=40),
+    seed=st.integers(min_value=0, max_value=10**6),
+    k=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=30, deadline=None)
+@pytest.mark.parametrize("partitioner", PARTITIONERS, ids=lambda p: p.name)
+def test_every_partitioner_is_valid(partitioner, n, seed, k):
+    g = random_connected_graph(n, seed=seed)
+    p = partitioner.partition(g, k)
+    validate_assignment(g, p.assignment, k)
+    assert sum(p.loads()) == g.total_node_weight()
+
+
+@given(
+    n=st.integers(min_value=4, max_value=40),
+    seed=st.integers(min_value=0, max_value=10**6),
+    logk=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_pagrid_valid_on_hypercubes(n, seed, logk):
+    k = 2**logk
+    g = random_connected_graph(n, seed=seed)
+    p = PaGridLikePartitioner(ProcessorGraph.hypercube(k), seed=0).partition(g, k)
+    validate_assignment(g, p.assignment, k)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    seed=st.integers(min_value=0, max_value=10**6),
+    k=st.integers(min_value=2, max_value=5),
+    wseed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=25, deadline=None)
+def test_metis_balance_with_weights(n, seed, k, wseed):
+    """The multilevel driver keeps weighted load within tolerance + one
+    max-weight vertex of the target whenever that is achievable."""
+    import random as _random
+
+    g = random_connected_graph(n, seed=seed)
+    rng = _random.Random(wseed)
+    weights = [rng.randint(1, 5) for _ in range(n)]
+    g = g.with_node_weights(weights)
+    p = MetisLikePartitioner(seed=0, trials=1).partition(g, k)
+    target = g.total_node_weight() / k
+    # Lumpy weights make exact balance a bin-packing problem; allow two
+    # max-weight vertices of slack above the tolerance band.
+    assert max(p.loads()) <= target * 1.05 + 2 * max(weights) + 1e-9

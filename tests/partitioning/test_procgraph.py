@@ -1,0 +1,132 @@
+"""Tests for processor network graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.partitioning import ProcessorGraph
+
+
+class TestConstruction:
+    def test_basic(self):
+        pg = ProcessorGraph(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        assert pg.nprocs == 3
+        assert pg.has_link(0, 1)
+        assert not pg.has_link(0, 2)
+        assert pg.link_cost(1, 2) == 2.0
+
+    def test_default_speeds(self):
+        pg = ProcessorGraph(2, [(0, 1, 1.0)])
+        assert pg.speeds == (1.0, 1.0)
+
+    def test_custom_speeds(self):
+        pg = ProcessorGraph(2, [(0, 1, 1.0)], speeds=[2.0, 0.5])
+        assert pg.speed(0) == 2.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ProcessorGraph(0, [])
+        with pytest.raises(ValueError):
+            ProcessorGraph(2, [(0, 0, 1.0)])  # self link
+        with pytest.raises(ValueError):
+            ProcessorGraph(2, [(0, 5, 1.0)])  # out of range
+        with pytest.raises(ValueError):
+            ProcessorGraph(2, [(0, 1, -1.0)])  # bad cost
+        with pytest.raises(ValueError):
+            ProcessorGraph(2, [], speeds=[1.0])  # wrong length
+        with pytest.raises(ValueError):
+            ProcessorGraph(2, [], speeds=[1.0, 0.0])  # zero speed
+
+    def test_missing_link_cost_raises(self):
+        pg = ProcessorGraph(3, [(0, 1, 1.0)])
+        with pytest.raises(KeyError):
+            pg.link_cost(0, 2)
+
+    def test_links_listing(self):
+        pg = ProcessorGraph(3, [(2, 1, 3.0), (0, 1, 1.0)])
+        assert pg.links() == [(0, 1, 1.0), (1, 2, 3.0)]
+
+
+class TestPresets:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+    def test_hypercube(self, p):
+        pg = ProcessorGraph.hypercube(p)
+        assert pg.nprocs == p
+        # each node has log2(p) links
+        import math
+
+        degree = int(math.log2(p)) if p > 1 else 0
+        for i in range(p):
+            assert len(pg.neighbors(i)) == degree
+
+    def test_hypercube_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            ProcessorGraph.hypercube(6)
+
+    def test_hypercube_links_differ_in_one_bit(self):
+        pg = ProcessorGraph.hypercube(8)
+        for i, j, _ in pg.links():
+            diff = i ^ j
+            assert diff and diff & (diff - 1) == 0
+
+    def test_mesh(self):
+        pg = ProcessorGraph.mesh(2, 3)
+        assert pg.nprocs == 6
+        assert pg.has_link(0, 1)
+        assert pg.has_link(0, 3)
+        assert not pg.has_link(0, 4)
+
+    def test_fully_connected(self):
+        pg = ProcessorGraph.fully_connected(5)
+        assert len(pg.links()) == 10
+
+    def test_heterogeneous_grid(self):
+        pg = ProcessorGraph.heterogeneous_grid([2, 3], intra_cost=1.0, inter_cost=10.0)
+        assert pg.nprocs == 5
+        assert pg.link_cost(0, 1) == 1.0    # intra cluster 0
+        assert pg.link_cost(2, 3) == 1.0    # intra cluster 1
+        assert pg.link_cost(0, 2) == 10.0   # heads of both clusters
+
+    def test_heterogeneous_grid_rejects_empty_cluster(self):
+        with pytest.raises(ValueError):
+            ProcessorGraph.heterogeneous_grid([2, 0])
+
+
+class TestDistances:
+    def test_direct_link(self):
+        pg = ProcessorGraph.hypercube(8)
+        assert pg.distance(0, 1) == 1.0
+
+    def test_hypercube_distance_is_hamming(self):
+        pg = ProcessorGraph.hypercube(16)
+        for i in range(16):
+            for j in range(16):
+                assert pg.distance(i, j) == bin(i ^ j).count("1")
+
+    def test_self_distance_zero(self):
+        pg = ProcessorGraph.mesh(2, 2)
+        assert pg.distance(1, 1) == 0.0
+
+    def test_cheapest_path_wins(self):
+        pg = ProcessorGraph(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+        assert pg.distance(0, 2) == 2.0
+
+    def test_unreachable_is_inf(self):
+        pg = ProcessorGraph(3, [(0, 1, 1.0)])
+        assert pg.distance(0, 2) == float("inf")
+
+
+class TestGridFormat:
+    def test_roundtrip(self):
+        pg = ProcessorGraph.heterogeneous_grid([2, 2], speeds=[1.0, 2.0, 1.5, 1.0])
+        text = pg.to_grid_format()
+        back = ProcessorGraph.from_grid_format(text)
+        assert back.nprocs == pg.nprocs
+        assert back.speeds == pg.speeds
+        assert back.links() == pg.links()
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError):
+            ProcessorGraph.from_grid_format("")
+        with pytest.raises(ValueError):
+            ProcessorGraph.from_grid_format("2 1\n1.0\n1.0\n")  # missing link line

@@ -1,0 +1,92 @@
+"""Tests for spectral bisection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, grid2d, hex64, random_connected_graph
+from repro.partitioning import (
+    MetisLikePartitioner,
+    RandomPartitioner,
+    SpectralPartitioner,
+    fiedler_vector,
+)
+
+
+class TestFiedlerVector:
+    def test_orthogonal_to_constant(self):
+        g = random_connected_graph(20, seed=1)
+        fv = fiedler_vector(g)
+        assert abs(fv.sum()) < 1e-8
+
+    def test_separates_barbell(self):
+        # two triangles joined by one edge: the Fiedler vector's sign
+        # separates them.
+        g = Graph.from_edges(
+            6, [(1, 2), (2, 3), (1, 3), (4, 5), (5, 6), (4, 6), (3, 4)]
+        )
+        fv = fiedler_vector(g)
+        left = {np.sign(fv[i]) for i in (0, 1, 2)}
+        right = {np.sign(fv[i]) for i in (3, 4, 5)}
+        assert left != right
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            fiedler_vector(Graph([[]]))
+
+    def test_path_graph_is_monotone(self):
+        from repro.graphs import path_graph
+
+        fv = fiedler_vector(path_graph(10))
+        diffs = np.diff(fv)
+        assert (diffs > 0).all() or (diffs < 0).all()
+
+
+class TestSpectralPartitioner:
+    @pytest.mark.parametrize("k", [2, 3, 4, 8])
+    def test_valid_and_balanced(self, k):
+        g = hex64()
+        p = SpectralPartitioner(seed=0).partition(g, k)
+        assert sum(p.loads()) == 64
+        assert p.imbalance() <= 1.4
+
+    def test_grid_bisection_is_clean(self):
+        g = grid2d(8, 8)
+        p = SpectralPartitioner(seed=0).partition(g, 2)
+        # optimal bisection of an 8x8 grid cuts 8 edges; spectral + FM
+        # should come close.
+        assert p.edge_cut() <= 12
+
+    def test_beats_random(self):
+        g = hex64()
+        spectral = SpectralPartitioner(seed=0).partition(g, 4)
+        rand = RandomPartitioner(seed=0).partition(g, 4)
+        assert spectral.edge_cut() < rand.edge_cut()
+
+    def test_comparable_to_metis(self):
+        g = hex64()
+        spectral = SpectralPartitioner(seed=0).partition(g, 4)
+        metis = MetisLikePartitioner(seed=0).partition(g, 4)
+        assert spectral.edge_cut() <= 2 * metis.edge_cut()
+
+    def test_without_refinement(self):
+        g = hex64()
+        p = SpectralPartitioner(seed=0, refine=False).partition(g, 2)
+        assert sum(p.loads()) == 64
+
+    def test_deterministic(self):
+        g = random_connected_graph(40, seed=4)
+        a = SpectralPartitioner(seed=1).partition(g, 4)
+        b = SpectralPartitioner(seed=1).partition(g, 4)
+        assert a.assignment == b.assignment
+
+    def test_single_part(self):
+        g = random_connected_graph(10, seed=0)
+        p = SpectralPartitioner().partition(g, 1)
+        assert set(p.assignment) == {0}
+
+    def test_two_node_graph(self):
+        g = Graph.from_edges(2, [(1, 2)])
+        p = SpectralPartitioner().partition(g, 2)
+        assert sorted(p.assignment) == [0, 1]

@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main, make_partitioner
+from repro.graphs import hex32, read_chaco, read_partition
+
+
+@pytest.fixture
+def hexfile(tmp_path):
+    path = tmp_path / "hex.txt"
+    assert main(["generate", "--kind", "hex", "--rows", "4", "--cols", "8",
+                 "--output", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_hex(self, hexfile):
+        graph = read_chaco(hexfile)
+        assert graph.num_nodes == 32
+        assert graph == hex32()
+
+    @pytest.mark.parametrize("kind,extra,nodes", [
+        ("grid", [], 64),
+        ("torus", [], 64),
+        ("random", ["--nodes", "40"], 40),
+        ("battlefield", ["--rows", "8", "--cols", "8"], 64),
+    ])
+    def test_other_kinds(self, tmp_path, kind, extra, nodes):
+        path = tmp_path / f"{kind}.txt"
+        assert main(["generate", "--kind", kind, "--output", str(path), *extra]) == 0
+        assert read_chaco(path).num_nodes == nodes
+
+
+class TestPartition:
+    def test_metis_writes_mapping(self, tmp_path, hexfile, capsys):
+        out = tmp_path / "part.txt"
+        assert main(["partition", "--graph", str(hexfile), "--scheme", "metis",
+                     "--np", "4", "--output", str(out)]) == 0
+        assignment = read_partition(out, num_nodes=32)
+        assert set(assignment) == {0, 1, 2, 3}
+        captured = capsys.readouterr().out
+        assert "edge cut" in captured
+
+    def test_band_needs_geometry(self, tmp_path, hexfile):
+        out = tmp_path / "part.txt"
+        with pytest.raises(SystemExit):
+            main(["partition", "--graph", str(hexfile), "--scheme", "rowband",
+                  "--np", "4", "--output", str(out)])
+
+    def test_band_with_geometry(self, tmp_path, hexfile):
+        out = tmp_path / "part.txt"
+        assert main(["partition", "--graph", str(hexfile), "--scheme", "rowband",
+                     "--np", "4", "--rows", "4", "--cols", "8",
+                     "--output", str(out)]) == 0
+
+    def test_geometry_mismatch_rejected(self, tmp_path, hexfile):
+        out = tmp_path / "part.txt"
+        with pytest.raises(SystemExit):
+            main(["partition", "--graph", str(hexfile), "--scheme", "rowband",
+                  "--np", "4", "--rows", "5", "--cols", "5",
+                  "--output", str(out)])
+
+    @pytest.mark.parametrize("scheme", ["pagrid", "spectral", "bfsgreedy",
+                                        "random", "roundrobin"])
+    def test_all_geometry_free_schemes(self, tmp_path, hexfile, scheme):
+        out = tmp_path / f"{scheme}.txt"
+        np = 4
+        assert main(["partition", "--graph", str(hexfile), "--scheme", scheme,
+                     "--np", str(np), "--output", str(out)]) == 0
+        assert len(read_partition(out)) == 32
+
+    def test_make_partitioner_unknown(self):
+        with pytest.raises(SystemExit):
+            make_partitioner("bogus", 2, 0, hex32())
+
+
+class TestRun:
+    def test_run_with_partitioner(self, hexfile, capsys):
+        assert main(["run", "--graph", str(hexfile), "--np", "4",
+                     "--iterations", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "elapsed" in out
+        assert "virtual seconds" in out
+
+    def test_run_with_partition_file(self, tmp_path, hexfile, capsys):
+        part = tmp_path / "p.txt"
+        main(["partition", "--graph", str(hexfile), "--scheme", "metis",
+              "--np", "4", "--output", str(part)])
+        capsys.readouterr()
+        assert main(["run", "--graph", str(hexfile), "--partition", str(part),
+                     "--np", "4", "--iterations", "5", "--phases"]) == 0
+        out = capsys.readouterr().out
+        assert "from-file" in out
+        assert "communication_overhead" in out
+
+    def test_run_dynamic_imbalance(self, hexfile, capsys):
+        assert main(["run", "--graph", str(hexfile), "--np", "4",
+                     "--workload", "imbalance", "--iterations", "25",
+                     "--dynamic", "--balancer", "greedy"]) == 0
+        assert "migrations" in capsys.readouterr().out
+
+    def test_run_repartition_mode(self, hexfile, capsys):
+        assert main(["run", "--graph", str(hexfile), "--np", "4",
+                     "--workload", "imbalance", "--iterations", "25",
+                     "--dynamic", "--rebalance-mode", "repartition"]) == 0
+
+    def test_run_overlap_and_machines(self, hexfile):
+        for machine in ("ideal", "ethernet"):
+            assert main(["run", "--graph", str(hexfile), "--np", "2",
+                         "--iterations", "3", "--machine", machine,
+                         "--overlap"]) == 0
+
+
+class TestBenchAndInfo:
+    def test_info(self, hexfile, capsys):
+        assert main(["info", "--graph", str(hexfile)]) == 0
+        out = capsys.readouterr().out
+        assert "vertices   32" in out
+        assert "connected  True" in out
+
+    def test_bench_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "nosuchthing"])
+
+    def test_bench_table(self, capsys):
+        assert main(["bench", "table5_rand32", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "random graphs" in out
+        assert "(paper)" in out
+
+
+class TestPartitionAnalyze:
+    def test_analyze_flag_prints_diagnostics(self, tmp_path, hexfile, capsys):
+        out = tmp_path / "part.txt"
+        assert main(["partition", "--graph", str(hexfile), "--scheme", "metis",
+                     "--np", "4", "--output", str(out), "--analyze"]) == 0
+        text = capsys.readouterr().out
+        assert "surface/volume" in text
+        assert "interfaces" in text

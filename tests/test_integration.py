@@ -1,0 +1,186 @@
+"""Cross-module integration tests: complete user workflows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import FINE_GRAIN, make_average_fn
+from repro.apps.battlefield import BattlefieldApp, opposing_fronts, simulate_sequential
+from repro.core import ICPlatform, PlatformConfig, run_platform
+from repro.graphs import (
+    HexGrid,
+    hex32,
+    random_connected_graph,
+    read_chaco,
+    read_partition,
+    write_chaco,
+    write_partition,
+)
+from repro.mpi import IDEAL, ORIGIN2000, TopologyMachineModel
+from repro.partitioning import (
+    MetisLikePartitioner,
+    PaGridLikePartitioner,
+    Partition,
+    ProcessorGraph,
+    SpectralPartitioner,
+)
+
+
+class TestFileWorkflow:
+    """The Appendix-A pipeline: Chaco graph -> partition file -> platform."""
+
+    def test_end_to_end_through_files(self, tmp_path):
+        graph = random_connected_graph(48, avg_degree=4.0, seed=3, name="g48")
+        graph_file = tmp_path / "g48_in.txt"
+        part_file = tmp_path / "g48_out_8p.txt"
+        write_chaco(graph, graph_file)
+        partition = MetisLikePartitioner(seed=1).partition(graph, 8)
+        write_partition(list(partition.assignment), part_file)
+
+        loaded_graph = read_chaco(graph_file)
+        loaded = Partition.from_assignment(
+            loaded_graph,
+            read_partition(part_file, num_nodes=48),
+            8,
+            method="file",
+        )
+        result = run_platform(
+            loaded_graph,
+            make_average_fn(FINE_GRAIN),
+            loaded,
+            config=PlatformConfig(iterations=10),
+        )
+        direct = run_platform(
+            graph,
+            make_average_fn(FINE_GRAIN),
+            partition,
+            config=PlatformConfig(iterations=10),
+        )
+        assert result.values == direct.values
+        assert result.elapsed == direct.elapsed
+
+
+class TestTopologyMachines:
+    def test_topology_model_charges_distance(self):
+        pg = ProcessorGraph.hypercube(4)
+        machine = TopologyMachineModel.wrap(ORIGIN2000, pg, hop_latency_factor=1.0)
+        # ranks 0 and 3 are 2 hops apart on the 4-hypercube
+        near = machine.transfer_time_between(0, 0, 1)
+        far = machine.transfer_time_between(0, 0, 3)
+        assert far == pytest.approx(2 * near)
+
+    def test_platform_runs_on_topology_machine(self):
+        graph = hex32()
+        pg = ProcessorGraph.hypercube(8)
+        machine = TopologyMachineModel.wrap(ORIGIN2000, pg)
+        partition = PaGridLikePartitioner(pg, seed=1).partition(graph, 8)
+        result = run_platform(
+            graph,
+            make_average_fn(FINE_GRAIN),
+            partition,
+            config=PlatformConfig(iterations=10),
+            machine=machine,
+        )
+        flat = run_platform(
+            graph,
+            make_average_fn(FINE_GRAIN),
+            partition,
+            config=PlatformConfig(iterations=10),
+            machine=ORIGIN2000,
+        )
+        assert result.values == flat.values          # timing model never
+        assert result.elapsed >= flat.elapsed        # changes semantics
+
+
+class TestAlternativePartitionersOnPlatform:
+    @pytest.mark.parametrize(
+        "partitioner",
+        [SpectralPartitioner(seed=1), MetisLikePartitioner(seed=1, matching="random")],
+        ids=["spectral", "metis-random-matching"],
+    )
+    def test_platform_accepts_any_plugin(self, partitioner):
+        graph = hex32()
+        partition = partitioner.partition(graph, 4)
+        result = run_platform(
+            graph,
+            make_average_fn(0.0),
+            partition,
+            config=PlatformConfig(iterations=3),
+            machine=IDEAL,
+            init_value=float,
+        )
+        assert len(result.values) == 32
+
+
+class TestBattlefieldWithDynamicLB:
+    """Section 7.1's first future extension: 'it would be interesting to
+    see the performance of the platform while parallelizing [the
+    battlefield simulation] with the dynamic load balancer utilities'."""
+
+    def test_battlefield_runs_under_dynamic_lb(self):
+        from repro.core import GreedyPairBalancer
+
+        app = BattlefieldApp(
+            opposing_fronts(grid=HexGrid(8, 8), depth=3, strength_per_hex=6.0)
+        )
+        graph = app.graph()
+        partition = MetisLikePartitioner(seed=0).partition(graph, 4)
+        config = app.platform_config(
+            steps=8,
+            dynamic_load_balancing=True,
+            lb_period=2,
+            validate_each_iteration=True,
+        )
+        platform = ICPlatform(
+            graph,
+            app.node_fns(),
+            init_value=app.init_value,
+            config=config,
+            balancer=GreedyPairBalancer(0.1),
+        )
+        result = platform.run(partition, machine=IDEAL)
+        # Migrations must not corrupt the simulation.
+        assert result.values == simulate_sequential(app, 8)
+
+    def test_battlefield_dynamic_lb_can_help_on_hot_zone(self):
+        """With all combat in one corner, migrating hexes off the hot
+        processor beats the static split."""
+        from repro.apps.battlefield import single_combat_zone
+        from repro.core import GreedyPairBalancer
+
+        app = BattlefieldApp(
+            single_combat_zone(grid=HexGrid(16, 16), zone_rows=6, strength_per_hex=12.0)
+        )
+        graph = app.graph()
+        partition = MetisLikePartitioner(seed=0).partition(graph, 4)
+        static = ICPlatform(
+            graph, app.node_fns(), init_value=app.init_value,
+            config=app.platform_config(steps=16),
+        ).run(partition)
+        dynamic = ICPlatform(
+            graph, app.node_fns(), init_value=app.init_value,
+            config=app.platform_config(
+                steps=16, dynamic_load_balancing=True, lb_period=4,
+                max_migrations_per_pair=3,
+            ),
+            balancer=GreedyPairBalancer(0.25),
+        ).run(partition)
+        assert dynamic.values == static.values
+        assert len(dynamic.migrations) > 0
+        assert dynamic.elapsed < static.elapsed * 1.05  # never much worse
+
+
+class TestScaleSmoke:
+    def test_512_node_graph_32_ranks(self):
+        """A larger-than-paper configuration exercises the machinery at
+        scale: 512 nodes, 32 simulated processors."""
+        graph = HexGrid(16, 32).to_graph()
+        partition = MetisLikePartitioner(seed=1, trials=1).partition(graph, 32)
+        result = run_platform(
+            graph,
+            make_average_fn(FINE_GRAIN),
+            partition,
+            config=PlatformConfig(iterations=5),
+        )
+        assert len(result.values) == 512
+        assert result.elapsed > 0
