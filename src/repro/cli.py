@@ -37,6 +37,7 @@ from .graphs.chaco import read_chaco, read_partition, write_chaco, write_partiti
 from .graphs.generators import grid2d, random_connected_graph, torus2d
 from .graphs.graph import Graph
 from .graphs.hexgrid import HexGrid, hex_grid
+from .mpi.faults import FaultPlan
 from .mpi.timing import ETHERNET_CLUSTER, IDEAL, ORIGIN2000
 from .partitioning.bands import (
     ColumnBandPartitioner,
@@ -186,16 +187,25 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:  # the Figure-23 rolling imbalance
         node_fn = make_imbalanced_average_fn(PAPER_SCHEDULE)
 
+    faults = None
+    if args.faults:
+        try:
+            faults = FaultPlan.parse(args.faults)
+            faults.validate_ranks(args.np)
+        except ValueError as exc:
+            raise SystemExit(f"--faults: {exc}")
+
     config = PlatformConfig(
         iterations=args.iterations,
         dynamic_load_balancing=args.dynamic,
         lb_period=args.lb_period,
         overlap_communication=args.overlap,
         rebalance_mode=args.rebalance_mode,
+        checkpoint_period=args.checkpoint_period,
     )
     balancer = _BALANCERS[args.balancer](args.lb_threshold) if args.dynamic else None
     platform = ICPlatform(graph, node_fn, config=config, balancer=balancer)
-    result = platform.run(partition, machine=_MACHINES[args.machine])
+    result = platform.run(partition, machine=_MACHINES[args.machine], faults=faults)
 
     print(f"graph         {graph.name} ({graph.num_nodes} nodes)")
     print(f"partition     {partition.method} (cut {partition.edge_cut()})")
@@ -207,6 +217,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"migrations    {len(result.migrations)}")
         if result.repartitions:
             print(f"repartitions  {result.repartitions}")
+    if faults is not None:
+        print(f"faults        {faults.describe()}")
+        if result.fault_report is not None:
+            print(f"fault report  {result.fault_report.summary()}")
+        print(f"checkpoints   {result.checkpoints}")
+        print(f"recoveries    {result.recoveries}")
     if args.phases:
         print("phase breakdown (mean per rank):")
         for name, seconds in result.mean_phases.as_dict().items():
@@ -320,6 +336,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--overlap", action="store_true",
                      help="use the Figure-8a overlapped pipeline")
     run.add_argument("--phases", action="store_true", help="print phase breakdown")
+    run.add_argument("--faults",
+                     help="deterministic fault-injection spec, e.g. "
+                          "'seed=7,delay=0.05,drop=0.01,slow=1:3.0,crash=2@40'")
+    run.add_argument("--checkpoint-period", type=int, default=0,
+                     help="checkpoint every K iterations (0 = baseline only)")
     run.set_defaults(fn=cmd_run)
 
     bench = sub.add_parser("bench", help="regenerate a paper table/figure ('all' for the full report)")

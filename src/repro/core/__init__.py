@@ -3,6 +3,7 @@ dynamic load balancing, task migration, and the platform driver."""
 
 from .bsp import VertexContext, VertexProgram, run_bsp, run_vertex_program
 from .buffers import BUFFER_RECORD_TYPE, CommBuffers
+from .checkpoint import Checkpoint, CheckpointError, Checkpointer
 from .directory import DistributedDirectory
 from .compute import (
     ComputeContext,
@@ -40,6 +41,9 @@ __all__ = [
     "BUFFER_RECORD_TYPE",
     "BusyIdlePair",
     "CentralizedHeuristicBalancer",
+    "Checkpoint",
+    "CheckpointError",
+    "Checkpointer",
     "CommBuffers",
     "ComputeContext",
     "DEFAULT_TABLE_LENGTH",

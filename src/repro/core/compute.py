@@ -98,19 +98,21 @@ class ComputeContext:
         return self.comm.size
 
     def work(self, seconds: float) -> None:
-        """Charge application compute time (the node's grain)."""
-        self.comm.work(seconds)
-        self.compute_time += seconds
+        """Charge application compute time (the node's grain).
+
+        Accumulates the *charged* seconds -- a fault-injected slow window
+        (:class:`~repro.mpi.faults.SlowWindow`) inflates them, so the load
+        balancer sees the degraded rank as genuinely busier.
+        """
+        self.compute_time += self.comm.work(seconds)
 
     def _bookkeeping(self, seconds: float) -> None:
         """Charge platform bookkeeping (lands in computation overhead)."""
-        self.comm.work(seconds)
-        self.bookkeeping_time += seconds
+        self.bookkeeping_time += self.comm.work(seconds)
 
     def _comm_overhead(self, seconds: float) -> None:
         """Charge pack/unpack bookkeeping (lands in communication overhead)."""
-        self.comm.work(seconds)
-        self.comm_overhead_time += seconds
+        self.comm_overhead_time += self.comm.work(seconds)
 
 
 NodeFn = Callable[[NodeView, ComputeContext], Any]

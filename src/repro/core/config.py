@@ -53,6 +53,14 @@ class PlatformCosts:
         migrate_fixed_cost: Fixed data-structure surgery cost charged to the
             busy and idle processors per migration.
         migrate_item_cost: Per neighbour-record cost of a migration transfer.
+        checkpoint_item_cost: Serializing one data-node record into a
+            checkpoint snapshot.
+        restore_item_cost: Rebuilding one data-node record (plus its hash
+            table slot) while restoring a checkpoint.
+        crash_detect_cost: Fixed failure-detection + coordination latency
+            every rank pays when a crash fault fires.
+        restart_fixed_cost: Extra fixed cost the *crashed* rank pays to
+            respawn before it can restore its checkpoint.
     """
 
     list_item_cost: float = 2.0e-6
@@ -68,6 +76,10 @@ class PlatformCosts:
     lb_stat_cost: float = 20.0e-6
     migrate_fixed_cost: float = 120.0e-6
     migrate_item_cost: float = 15.0e-6
+    checkpoint_item_cost: float = 4.0e-6
+    restore_item_cost: float = 6.0e-6
+    crash_detect_cost: float = 2.0e-3
+    restart_fixed_cost: float = 20.0e-3
 
     def with_overrides(self, **kwargs: Any) -> "PlatformCosts":
         """Copy with selected constants replaced."""
@@ -102,6 +114,11 @@ class PlatformConfig:
             ``"repartition"`` (re-run a static partitioner on measured node
             loads and rebuild from scratch -- the costly alternative section
             4.3 warns about, implemented for the section-8 comparison).
+        checkpoint_period: Serialize every rank's node store every this many
+            iterations (0 = off).  When a fault plan schedules crashes, a
+            post-initialization baseline checkpoint is always taken, so
+            recovery works even with periodic checkpoints disabled (it just
+            replays from iteration 1).
         track_phases: Record per-phase virtual-time breakdowns.
         track_trace: Record a per-iteration :class:`~repro.core.trace.
             ExecutionTrace` (makespans, compute imbalance, migrations).
@@ -119,6 +136,7 @@ class PlatformConfig:
     costs: PlatformCosts = field(default_factory=PlatformCosts)
     max_migrations_per_pair: int = 1
     rebalance_mode: str = "migrate"
+    checkpoint_period: int = 0
     track_phases: bool = True
     track_trace: bool = False
     validate_each_iteration: bool = False
@@ -135,6 +153,10 @@ class PlatformConfig:
         if self.max_migrations_per_pair < 1:
             raise ValueError(
                 f"max_migrations_per_pair must be >= 1, got {self.max_migrations_per_pair}"
+            )
+        if self.checkpoint_period < 0:
+            raise ValueError(
+                f"checkpoint_period must be >= 0, got {self.checkpoint_period}"
             )
         if self.rebalance_mode not in ("migrate", "repartition"):
             raise ValueError(

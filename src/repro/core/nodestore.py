@@ -16,6 +16,7 @@ nodes, and rebuilding ``shadow_for_procs`` after ownership changes.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Callable, Iterator, Sequence
 
 from ..graphs.graph import Graph
@@ -261,6 +262,59 @@ class NodeStore:
             del self.data_records[gid]
             self.hash_table.remove(gid)
         return stale
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint support (used by :mod:`repro.core.checkpoint`)
+    # ------------------------------------------------------------------ #
+
+    def capture_state(self) -> dict[str, Any]:
+        """Snapshot every mutable piece of the store into plain data.
+
+        The snapshot covers the node-to-processor map, the full data node
+        list (committed *and* in-flight values), and the hash-table
+        geometry; node values are deep-copied so later sweeps cannot mutate
+        the snapshot through shared references.  The result is picklable
+        whenever the application's node values are.
+        """
+        return {
+            "rank": self.rank,
+            "assignment": list(self.assignment),
+            "records": {
+                gid: (
+                    copy.deepcopy(record.data),
+                    copy.deepcopy(record.most_recent_data),
+                )
+                for gid, record in self.data_records.items()
+            },
+            "hash_table_length": self.hash_table.length,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Rebuild the store from a :meth:`capture_state` snapshot.
+
+        The shared ``assignment`` list is patched in place (it is owned by
+        the caller, exactly as during migration), the data node list and
+        hash table are rebuilt record by record, and the internal/peripheral
+        classification is re-derived -- leaving the store exactly as it was
+        at snapshot time.
+        """
+        if state["rank"] != self.rank:
+            raise ValueError(
+                f"rank {self.rank} cannot restore a checkpoint of rank {state['rank']}"
+            )
+        self.assignment[:] = state["assignment"]
+        self.data_records.clear()
+        self.hash_table = NodeHashTable(state["hash_table_length"])
+        for gid, (data, most_recent) in state["records"].items():
+            record = NodeData(gid, copy.deepcopy(data), copy.deepcopy(most_recent))
+            self.data_records[gid] = record
+            self.hash_table.insert(record)
+        self.internal.clear()
+        self.peripheral.clear()
+        for gid in self.graph.nodes():
+            if self.assignment[gid - 1] == self.rank:
+                node = self._make_own_node(gid)
+                (self.peripheral if node.is_peripheral else self.internal)[gid] = node
 
     # ------------------------------------------------------------------ #
     # Invariants (test hook)

@@ -27,10 +27,12 @@ from typing import Any, Callable, Sequence
 
 from ..graphs.graph import Graph
 from ..mpi.communicator import Communicator
+from ..mpi.faults import FaultPlan, FaultReport
 from ..mpi.runtime import SimCluster
 from ..mpi.timing import ORIGIN2000, MachineModel
 from ..partitioning.base import Partition
 from .buffers import CommBuffers
+from .checkpoint import Checkpointer
 from .compute import ComputeContext, NodeFn, sweep_basic, sweep_overlapped
 from .config import PlatformConfig
 from .loadbalance import CentralizedHeuristicBalancer, LoadBalancer
@@ -57,6 +59,8 @@ class RankOutcome:
     migrations: list[MigrationEvent]
     repartitions: int = 0
     trace_records: list[IterationRecord] = field(default_factory=list)
+    recoveries: int = 0
+    checkpoints: int = 0
 
 
 @dataclass
@@ -76,6 +80,12 @@ class PlatformResult:
         migrations: Every executed migration, in order.
         repartitions: Full from-scratch repartitions executed (repartition
             rebalance mode only).
+        recoveries: Checkpoint rollbacks performed after injected crashes
+            (coordinated, so every rank rolls back together; this counts
+            recovery *events*, not rank-rollbacks).
+        checkpoints: Checkpoints each rank took (baseline + periodic).
+        fault_report: Tally of injected fault activity when the run used a
+            :class:`~repro.mpi.faults.FaultPlan`, else ``None``.
     """
 
     elapsed: float
@@ -87,6 +97,9 @@ class PlatformResult:
     migrations: list[MigrationEvent]
     repartitions: int = 0
     trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    recoveries: int = 0
+    checkpoints: int = 0
+    fault_report: FaultReport | None = None
 
     @property
     def mean_phases(self) -> PhaseTimes:
@@ -145,12 +158,34 @@ class ICPlatform:
         partition: Partition,
         machine: MachineModel = ORIGIN2000,
         deadlock_timeout: float = 30.0,
+        faults: FaultPlan | None = None,
+        sched_jitter: Callable[[], None] | None = None,
     ) -> PlatformResult:
-        """Execute the configured number of iterations on the partition."""
+        """Execute the configured number of iterations on the partition.
+
+        Args:
+            partition: Static node-to-processor mapping to start from.
+            machine: Virtual-time machine model.
+            deadlock_timeout: Real-seconds watchdog for the simulated
+                cluster.
+            faults: Optional deterministic fault-injection plan (message
+                delays/drops, slow ranks, crashes).  Crash events require
+                the platform to recover via checkpoint/restart; a baseline
+                checkpoint is always taken when crashes are scheduled.
+            sched_jitter: Test hook forwarded to :class:`SimCluster` --
+                called at thread scheduling points to perturb the *host*
+                schedule without affecting virtual-time results.
+        """
         if partition.graph is not self.graph and partition.graph != self.graph:
             raise ValueError("partition was computed for a different graph")
         nprocs = partition.nparts
-        cluster = SimCluster(nprocs, machine=machine, deadlock_timeout=deadlock_timeout)
+        cluster = SimCluster(
+            nprocs,
+            machine=machine,
+            deadlock_timeout=deadlock_timeout,
+            faults=faults,
+            sched_jitter=sched_jitter,
+        )
         outcomes: list[RankOutcome] = cluster.run(self._rank_main, partition)
 
         values: dict[int, Any] = {}
@@ -171,6 +206,11 @@ class ICPlatform:
             repartitions=outcomes[0].repartitions,
             trace=ExecutionTrace(
                 record for outcome in outcomes for record in outcome.trace_records
+            ),
+            recoveries=outcomes[0].recoveries,
+            checkpoints=sum(o.checkpoints for o in outcomes),
+            fault_report=(
+                cluster.fault_state.report() if cluster.fault_state is not None else None
             ),
         )
 
@@ -208,7 +248,71 @@ class ICPlatform:
 
         trace_records: list[IterationRecord] = []
 
-        for iteration in range(1, config.iterations + 1):
+        # Checkpoint/restart machinery (fault-injection support).  Crash
+        # events are declared in the fault plan, so every rank sees the same
+        # ones at the same iteration: detection, rollback, and re-execution
+        # stay collective and deterministic.
+        fault_state = comm.faults
+        plan = fault_state.plan if fault_state is not None else None
+        has_crashes = plan is not None and bool(plan.crashes)
+        checkpointer = Checkpointer(config.checkpoint_period)
+        recoveries = 0
+        attempt = 0
+        handled_crashes: set[tuple[int, int]] = set()
+
+        def loop_extras() -> dict[str, Any]:
+            # Rollback-sensitive loop state that lives outside the store.
+            return {
+                "window_exec_time": window_exec_time,
+                "migrations": list(migrations),
+                "repartitions": repartitions,
+                "node_compute": dict(ctx.node_compute),
+            }
+
+        if has_crashes or checkpointer.period:
+            # Post-initialization baseline: guarantees a recovery point even
+            # before the first periodic checkpoint is due.
+            t_ck = comm.Wtime()
+            checkpointer.take(0, store, **loop_extras())
+            comm.work(config.costs.checkpoint_item_cost * len(store.data_records))
+            phases.recovery += comm.Wtime() - t_ck
+
+        iteration = 1
+        while iteration <= config.iterations:
+            if has_crashes:
+                crashes = [
+                    c
+                    for c in plan.crashes_at(iteration)
+                    if (c.rank, c.iteration) not in handled_crashes
+                ]
+                if crashes:
+                    t_rec = comm.Wtime()
+                    crashed_here = False
+                    for c in crashes:
+                        handled_crashes.add((c.rank, c.iteration))
+                        if c.rank == comm.rank:
+                            crashed_here = True
+                            if fault_state is not None:
+                                fault_state.count_crash(comm.rank)
+                    # Every rank pays the failure-detection latency; the
+                    # crashed rank additionally pays to respawn.
+                    comm.work(config.costs.crash_detect_cost)
+                    if crashed_here:
+                        comm.work(config.costs.restart_fixed_cost)
+                    saved_iteration, extras = checkpointer.restore(store)
+                    comm.work(
+                        config.costs.restore_item_cost * len(store.data_records)
+                    )
+                    window_exec_time = extras["window_exec_time"]
+                    migrations[:] = extras["migrations"]
+                    repartitions = extras["repartitions"]
+                    ctx.node_compute = dict(extras["node_compute"])
+                    comm.barrier()
+                    phases.recovery += comm.Wtime() - t_rec
+                    recoveries += 1
+                    attempt += 1
+                    iteration = saved_iteration + 1
+                    continue
             ctx.iteration = iteration
             iter_clock_start = comm.Wtime()
             iter_compute0 = ctx.compute_time
@@ -280,8 +384,19 @@ class ICPlatform:
                         compute=ctx.compute_time - iter_compute0,
                         comm_overhead=ctx.comm_overhead_time - iter_comm_oh0,
                         migrations=own_moves,
+                        attempt=attempt,
                     )
                 )
+
+            if checkpointer.due(iteration):
+                t_ck = comm.Wtime()
+                checkpointer.take(iteration, store, **loop_extras())
+                comm.work(
+                    config.costs.checkpoint_item_cost * len(store.data_records)
+                )
+                phases.recovery += comm.Wtime() - t_ck
+
+            iteration += 1
 
         comm.barrier()
         elapsed = comm.Wtime()
@@ -296,6 +411,8 @@ class ICPlatform:
             migrations=migrations,
             repartitions=repartitions,
             trace_records=trace_records,
+            recoveries=recoveries,
+            checkpoints=checkpointer.taken,
         )
 
 def run_platform(
@@ -306,9 +423,13 @@ def run_platform(
     machine: MachineModel = ORIGIN2000,
     init_value: InitValueFn | None = None,
     balancer: LoadBalancer | None = None,
+    faults: FaultPlan | None = None,
+    sched_jitter: Callable[[], None] | None = None,
 ) -> PlatformResult:
     """One-shot convenience wrapper around :class:`ICPlatform`."""
     platform = ICPlatform(
         graph, node_fn, init_value=init_value, config=config, balancer=balancer
     )
-    return platform.run(partition, machine=machine)
+    return platform.run(
+        partition, machine=machine, faults=faults, sched_jitter=sched_jitter
+    )

@@ -33,6 +33,10 @@ class IterationRecord:
         comm_overhead: Pack/unpack bookkeeping seconds.
         migrations: Tasks this rank sent or received in the trailing
             load-balance phase (0 outside LB iterations).
+        attempt: Recovery generation: 0 until the first fault-injected
+            crash rolls the loop back, then +1 per rollback.  Records of an
+            iteration re-executed after a rollback carry a higher attempt
+            than the (rolled-back) originals.
     """
 
     rank: int
@@ -42,6 +46,7 @@ class IterationRecord:
     compute: float
     comm_overhead: float
     migrations: int = 0
+    attempt: int = 0
 
     @property
     def duration(self) -> float:
@@ -83,11 +88,39 @@ class ExecutionTrace:
         return sorted({r.rank for r in self._records})
 
     def of_iteration(self, iteration: int) -> list[IterationRecord]:
-        """All ranks' records for one iteration (rank order)."""
-        return sorted(
-            (r for r in self._records if r.iteration == iteration),
-            key=lambda r: r.rank,
-        )
+        """All ranks' *committed* records for one iteration (rank order).
+
+        When checkpoint/restart rolled an iteration back and re-ran it,
+        only each rank's latest attempt is returned; the superseded records
+        stay in :attr:`records` and feed :meth:`recovery_overhead`.
+        """
+        best: dict[int, IterationRecord] = {}
+        for r in self._records:
+            if r.iteration != iteration:
+                continue
+            current = best.get(r.rank)
+            if current is None or r.attempt > current.attempt:
+                best[r.rank] = r
+        return [best[rank] for rank in sorted(best)]
+
+    def rolled_back(self) -> list[IterationRecord]:
+        """Records superseded by a post-recovery re-execution.
+
+        A record is rolled back when a *later attempt* exists for the same
+        (rank, iteration) -- the virtual time it covers was wasted work that
+        a crash fault forced the platform to redo.
+        """
+        latest: dict[tuple[int, int], int] = {}
+        for r in self._records:
+            key = (r.rank, r.iteration)
+            latest[key] = max(latest.get(key, 0), r.attempt)
+        return [r for r in self._records if r.attempt < latest[(r.rank, r.iteration)]]
+
+    def recovery_overhead(self) -> float:
+        """Virtual seconds of work that crashes forced the platform to redo
+        (summed across ranks; the checkpoint/restore machinery itself is
+        accounted separately in ``PhaseTimes.recovery``)."""
+        return sum(r.duration for r in self.rolled_back())
 
     def makespan(self, iteration: int) -> float:
         """Latest end minus earliest start across ranks for one iteration."""
@@ -132,7 +165,14 @@ class ExecutionTrace:
     # ------------------------------------------------------------------ #
 
     def render(self, max_iterations: int = 40, bar_width: int = 30) -> str:
-        """Text timeline: one line per iteration with an imbalance bar."""
+        """Text timeline: one line per iteration with an imbalance bar.
+
+        Iterations that were rolled back and re-executed after a crash
+        fault are flagged with ``R``, and a recovery summary line reports
+        the total redone virtual time.
+        """
+        redone = {(r.rank, r.iteration) for r in self.rolled_back()}
+        redone_iters = {it for _, it in redone}
         lines = ["iter   makespan    imbalance"]
         for it in self.iterations()[:max_iterations]:
             imbalance = self.compute_imbalance(it)
@@ -140,8 +180,15 @@ class ExecutionTrace:
             # Bar shows the overload fraction above perfect balance.
             filled = min(bar_width, round((imbalance - 1.0) * bar_width))
             bar = "#" * filled + "." * (bar_width - filled)
-            lines.append(f"{it:4d}  {span * 1e3:8.3f}ms   {imbalance:6.3f} |{bar}|")
+            flag = " R" if it in redone_iters else ""
+            lines.append(f"{it:4d}  {span * 1e3:8.3f}ms   {imbalance:6.3f} |{bar}|{flag}")
         remaining = len(self.iterations()) - max_iterations
         if remaining > 0:
             lines.append(f"... {remaining} more iterations")
+        overhead = self.recovery_overhead()
+        if overhead:
+            lines.append(
+                f"recovery: {len(redone)} iteration records rolled back, "
+                f"{overhead * 1e3:.3f}ms re-executed"
+            )
         return "\n".join(lines)

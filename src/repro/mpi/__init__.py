@@ -31,8 +31,19 @@ from .errors import (
     DeadlockError,
     InvalidRankError,
     InvalidTagError,
+    MessageLostError,
     MPIError,
     TruncationError,
+)
+from .faults import (
+    CrashEvent,
+    DelaySpec,
+    DropSpec,
+    FaultPlan,
+    FaultReport,
+    FaultState,
+    RetryPolicy,
+    SlowWindow,
 )
 from .message import Message, RecvRequest, Request, SendRequest, Status
 from .runtime import RankState, SimCluster, run_mpi
@@ -51,19 +62,28 @@ __all__ = [
     "CHAR",
     "Communicator",
     "CommAbortedError",
+    "CrashEvent",
     "Datatype",
     "DeadlockError",
+    "DelaySpec",
+    "DropSpec",
     "DOUBLE",
     "ETHERNET_CLUSTER",
+    "FaultPlan",
+    "FaultReport",
+    "FaultState",
     "IDEAL",
     "INT",
     "InvalidRankError",
     "InvalidTagError",
     "MachineModel",
     "Message",
+    "MessageLostError",
     "MPIError",
     "ORIGIN2000",
     "RankState",
+    "RetryPolicy",
+    "SlowWindow",
     "RecvRequest",
     "Request",
     "SendRequest",

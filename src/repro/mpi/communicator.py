@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Sequence
 
-from .errors import InvalidRankError, InvalidTagError
+from .errors import InvalidRankError, InvalidTagError, MessageLostError
 from .message import ANY_SOURCE, ANY_TAG, Message, RecvRequest, Request, SendRequest, Status
 from .timing import estimate_nbytes
 
@@ -69,6 +69,13 @@ class Communicator:
         """The machine cost model this communicator charges against."""
         return self._cluster.machine
 
+    @property
+    def faults(self):
+        """The cluster's per-run :class:`~repro.mpi.faults.FaultState`
+        (None when no fault plan is armed).  The platform's recovery loop
+        reads the plan's crash schedule through this."""
+        return getattr(self._cluster, "fault_state", None)
+
     def __repr__(self) -> str:
         return f"Communicator(rank={self._rank}, size={self.size}, id={self._comm_id!r})"
 
@@ -80,20 +87,34 @@ class Communicator:
         """This rank's virtual clock, seconds."""
         return self._state().clock
 
-    def work(self, seconds: float) -> None:
+    def work(self, seconds: float) -> float:
         """Charge ``seconds`` of pure computation to this rank's clock.
 
         This is the substitute for the thesis's dummy ``for`` loops that
-        injected the 0.3 ms / 3 ms node grains.
+        injected the 0.3 ms / 3 ms node grains.  When a fault plan marks
+        this rank as transiently slow, the charge is inflated by the active
+        :class:`~repro.mpi.faults.SlowWindow` factor.
+
+        Returns:
+            The virtual seconds actually charged (>= ``seconds``).
         """
         if seconds < 0:
             raise ValueError(f"cannot charge negative work: {seconds}")
-        self._state().clock += seconds
+        return self._charge_cpu(seconds)
 
     charge = work  # alias
 
     def _state(self):
         return self._cluster.state(self._world_rank)
+
+    def _charge_cpu(self, seconds: float) -> float:
+        """Charge CPU time, inflated by any active slow-rank fault window."""
+        state = self._state()
+        faults = getattr(self._cluster, "fault_state", None)
+        if faults is not None:
+            seconds *= faults.compute_scale(self._world_rank, state.clock)
+        state.clock += seconds
+        return seconds
 
     # ------------------------------------------------------------------ #
     # Point-to-point
@@ -125,7 +146,31 @@ class Communicator:
         size = estimate_nbytes(obj) if nbytes is None else nbytes
         state = self._state()
         machine = self._cluster.machine
-        state.clock += machine.sender_cpu(size)
+        faults = getattr(self._cluster, "fault_state", None)
+        self._charge_cpu(machine.sender_cpu(size))
+        extra_flight = 0.0
+        if faults is not None and faults.plan.perturbs_messages:
+            faults.count_message(self._world_rank)
+            if faults.plan.drop is not None:
+                # Send-side reliable delivery: every lost transmission
+                # attempt costs an ack timeout (exponential backoff) plus
+                # the resend CPU, all in virtual time.
+                retry = faults.plan.retry
+                attempt = 1
+                while faults.next_drop(self._world_rank):
+                    if attempt >= retry.max_attempts:
+                        faults.count_lost(self._world_rank)
+                        raise MessageLostError(
+                            f"message to rank {dest} (tag {tag}) lost after "
+                            f"{attempt} transmission attempts"
+                        )
+                    state.clock += retry.attempt_timeout(
+                        attempt, machine.ack_timeout(size)
+                    )
+                    self._charge_cpu(machine.sender_cpu(size))
+                    faults.count_retry(self._world_rank)
+                    attempt += 1
+            extra_flight = faults.next_delay(self._world_rank)
         # src is the communicator-local rank (what the receiver matches on);
         # dest is the world rank (which mailbox to drop the message into).
         msg = Message(
@@ -139,7 +184,8 @@ class Communicator:
             arrival_time=state.clock
             + machine.transfer_time_between(
                 size, self._group[self._rank], self._group[dest]
-            ),
+            )
+            + extra_flight,
         )
         self._cluster.deliver(msg)
         return SendRequest(msg)
@@ -179,7 +225,8 @@ class Communicator:
     def _finish_recv(self, msg: Message, status: Status | None) -> Any:
         state = self._state()
         machine = self._cluster.machine
-        state.clock = max(state.clock, msg.arrival_time) + machine.receiver_cpu(msg.nbytes)
+        state.clock = max(state.clock, msg.arrival_time)
+        self._charge_cpu(machine.receiver_cpu(msg.nbytes))
         if status is not None:
             status.update_from(msg)
         return msg.payload

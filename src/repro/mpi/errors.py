@@ -31,3 +31,9 @@ class CommAbortedError(MPIError):
 
 class TruncationError(MPIError):
     """A received message was larger than the posted receive allows."""
+
+
+class MessageLostError(MPIError):
+    """A message was dropped by fault injection and the sender exhausted its
+    retry budget (:class:`~repro.mpi.faults.RetryPolicy`) without getting a
+    transmission through."""

@@ -1,0 +1,480 @@
+"""Deterministic fault injection for the virtual-time MPI substrate.
+
+The paper's platform assumes a reliable Origin-2000 interconnect; a
+production-scale runtime has to survive slow ranks, delayed or lost
+messages, and whole-rank crashes.  On the virtual-time simulator failure can
+be a *first-class, reproducible input*: a seeded :class:`FaultPlan`
+describes every perturbation, and identical plans produce bit-identical
+virtual clocks, traces, and results -- which is what makes robustness
+regressions testable.
+
+Four fault families are supported:
+
+* **message delays** (:class:`DelaySpec`) -- with probability ``prob`` a
+  message's flight time gains ``extra`` virtual seconds;
+* **message drops** (:class:`DropSpec` + :class:`RetryPolicy`) -- with
+  probability ``prob`` a transmission attempt is lost; the sending
+  communicator waits out an ack timeout (exponential backoff) and resends,
+  up to ``max_attempts`` transmissions, then raises
+  :class:`~repro.mpi.errors.MessageLostError`;
+* **transient slow ranks** (:class:`SlowWindow`) -- a rank's compute and
+  per-message CPU charges are scaled by ``factor`` while its virtual clock
+  is inside ``[start, end)``;
+* **rank crashes** (:class:`CrashEvent`) -- a rank dies at the start of a
+  chosen iteration/superstep; the platform's checkpoint/restart layer
+  (:mod:`repro.core.checkpoint`) rolls every rank back to the last
+  checkpoint and re-runs, charging the recovery to the virtual clocks.
+
+Randomized decisions (drop, delay) are drawn from *per-rank* PRNG streams
+seeded from ``(plan seed, rank)``.  Each rank draws in its own program
+order, so outcomes are independent of host-thread scheduling -- the same
+FIFO-determinism argument the runtime makes for message matching.
+
+A plan can be written as a compact spec string (the CLI's ``--faults``
+flag)::
+
+    seed=42,delay=0.05:0.002,drop=0.01,retry=6:0.001:2.0,slow=1:3.0:0.0:0.5,crash=2@40
+
+See :meth:`FaultPlan.parse` for the clause grammar.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable
+
+__all__ = [
+    "DelaySpec",
+    "DropSpec",
+    "RetryPolicy",
+    "SlowWindow",
+    "CrashEvent",
+    "FaultPlan",
+    "FaultState",
+    "FaultReport",
+]
+
+
+@dataclass(frozen=True)
+class DelaySpec:
+    """Random message-delay fault.
+
+    Attributes:
+        prob: Per-message probability of the delay firing.
+        extra: Extra virtual flight seconds added when it does.
+    """
+
+    prob: float
+    extra: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"delay prob must be in [0, 1], got {self.prob}")
+        if self.extra < 0:
+            raise ValueError(f"delay extra must be >= 0, got {self.extra}")
+
+
+@dataclass(frozen=True)
+class DropSpec:
+    """Random message-loss fault.
+
+    Attributes:
+        prob: Per-*transmission-attempt* probability of the attempt being
+            lost (retries redraw).
+    """
+
+    prob: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"drop prob must be in [0, 1], got {self.prob}")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Send-side reliable-delivery policy used when drops are enabled.
+
+    Attributes:
+        max_attempts: Total transmissions allowed per message (first send
+            plus retries); exhausting them raises
+            :class:`~repro.mpi.errors.MessageLostError`.
+        timeout: Ack timeout charged before each resend, seconds.  ``None``
+            uses the machine model's :meth:`~repro.mpi.timing.MachineModel.
+            ack_timeout` for the message size.
+        backoff: Timeout multiplier applied per successive retry
+            (exponential backoff).
+    """
+
+    max_attempts: int = 6
+    timeout: float | None = None
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout is not None and self.timeout < 0:
+            raise ValueError(f"timeout must be >= 0, got {self.timeout}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+
+    def attempt_timeout(self, attempt: int, base: float) -> float:
+        """Ack timeout before the ``attempt``-th retry (1-based)."""
+        timeout = base if self.timeout is None else self.timeout
+        return timeout * self.backoff ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class SlowWindow:
+    """A transient slow rank: CPU charges scaled while the clock is in a
+    virtual-time window.
+
+    Attributes:
+        rank: The affected world rank.
+        factor: Multiplier (>= 1) on compute grains and per-message CPU
+            overheads charged while active.
+        start: Window start, virtual seconds (inclusive).
+        end: Window end, virtual seconds (exclusive); ``None`` = rest of
+            the run.
+
+    A charge is scaled when it *starts* inside the window; charges are not
+    split at the boundary.
+    """
+
+    rank: int
+    factor: float
+    start: float = 0.0
+    end: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.factor < 1.0:
+            raise ValueError(f"slow factor must be >= 1, got {self.factor}")
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError(f"window end {self.end} must exceed start {self.start}")
+
+    def active(self, clock: float) -> bool:
+        """Whether the window covers the given virtual time."""
+        return clock >= self.start and (self.end is None or clock < self.end)
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """A whole-rank crash at the start of a chosen iteration.
+
+    The platform's recovery loop (not the MPI layer) consumes these: every
+    rank sees the same plan, detects the crash at the same deterministic
+    point, and rolls back to the last checkpoint collectively.
+
+    Attributes:
+        rank: The crashing world rank.
+        iteration: 1-based platform iteration (or BSP superstep) at whose
+            start the rank dies.
+    """
+
+    rank: int
+    iteration: int
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.iteration < 1:
+            raise ValueError(f"iteration must be >= 1, got {self.iteration}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded description of every fault in a run.
+
+    Attributes:
+        seed: Seeds the per-rank decision streams; two runs with the same
+            plan (and program) are bit-identical.
+        delay: Message-delay fault, or None.
+        drop: Message-loss fault, or None.
+        retry: Reliable-delivery policy used when ``drop`` is set.
+        slow: Transient slow-rank windows.
+        crashes: Scheduled whole-rank crashes.
+    """
+
+    seed: int = 0
+    delay: DelaySpec | None = None
+    drop: DropSpec | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    slow: tuple[SlowWindow, ...] = ()
+    crashes: tuple[CrashEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalize lists passed by hand.
+        if not isinstance(self.slow, tuple):
+            object.__setattr__(self, "slow", tuple(self.slow))
+        if not isinstance(self.crashes, tuple):
+            object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def crashes_at(self, iteration: int) -> tuple[CrashEvent, ...]:
+        """Crash events scheduled for the given 1-based iteration."""
+        return tuple(e for e in self.crashes if e.iteration == iteration)
+
+    def validate_ranks(self, nprocs: int) -> None:
+        """Reject rank-targeted faults aimed at ranks that do not exist.
+
+        A crash aimed at a nonexistent rank would otherwise still trigger a
+        collective rollback (every rank reads the plan) while the fault
+        report counts zero crashes -- a silently inconsistent run.
+        """
+        for c in self.crashes:
+            if not 0 <= c.rank < nprocs:
+                raise ValueError(
+                    f"crash rank {c.rank} out of range for {nprocs} ranks"
+                )
+        for w in self.slow:
+            if not 0 <= w.rank < nprocs:
+                raise ValueError(
+                    f"slow rank {w.rank} out of range for {nprocs} ranks"
+                )
+
+    def compute_scale(self, rank: int, clock: float) -> float:
+        """CPU-charge multiplier for ``rank`` at virtual time ``clock``."""
+        scale = 1.0
+        for window in self.slow:
+            if window.rank == rank and window.active(clock):
+                scale *= window.factor
+        return scale
+
+    @property
+    def perturbs_messages(self) -> bool:
+        """Whether any per-message fault (delay/drop) is configured."""
+        return self.delay is not None or self.drop is not None
+
+    def with_overrides(self, **kwargs: Any) -> "FaultPlan":
+        """Copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Spec strings
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a compact spec string.
+
+        Comma-separated clauses (whitespace ignored):
+
+        * ``seed=N``
+        * ``delay=PROB[:EXTRA]`` -- extra flight seconds (default 1 ms)
+        * ``drop=PROB``
+        * ``retry=MAX[:TIMEOUT[:BACKOFF]]``
+        * ``slow=RANK:FACTOR[:START[:END]]`` -- virtual-second window
+        * ``crash=RANK@ITERATION`` (repeatable)
+
+        Raises:
+            ValueError: On an unknown clause or malformed value.
+        """
+        seed = 0
+        delay: DelaySpec | None = None
+        drop: DropSpec | None = None
+        retry = RetryPolicy()
+        slow: list[SlowWindow] = []
+        crashes: list[CrashEvent] = []
+        for raw in spec.replace(";", ",").split(","):
+            clause = raw.strip()
+            if not clause:
+                continue
+            key, sep, value = clause.partition("=")
+            if not sep:
+                raise ValueError(f"fault clause {clause!r} is not key=value")
+            key = key.strip().lower()
+            value = value.strip()
+            try:
+                if key == "seed":
+                    seed = int(value)
+                elif key == "delay":
+                    parts = value.split(":")
+                    delay = DelaySpec(
+                        prob=float(parts[0]),
+                        extra=float(parts[1]) if len(parts) > 1 else 1e-3,
+                    )
+                elif key == "drop":
+                    drop = DropSpec(prob=float(value))
+                elif key == "retry":
+                    parts = value.split(":")
+                    retry = RetryPolicy(
+                        max_attempts=int(parts[0]),
+                        timeout=float(parts[1]) if len(parts) > 1 else None,
+                        backoff=float(parts[2]) if len(parts) > 2 else 2.0,
+                    )
+                elif key == "slow":
+                    parts = value.split(":")
+                    if len(parts) < 2:
+                        raise ValueError("slow needs RANK:FACTOR")
+                    slow.append(
+                        SlowWindow(
+                            rank=int(parts[0]),
+                            factor=float(parts[1]),
+                            start=float(parts[2]) if len(parts) > 2 else 0.0,
+                            end=float(parts[3]) if len(parts) > 3 else None,
+                        )
+                    )
+                elif key == "crash":
+                    rank_s, sep2, iter_s = value.partition("@")
+                    if not sep2:
+                        raise ValueError("crash needs RANK@ITERATION")
+                    crashes.append(
+                        CrashEvent(rank=int(rank_s), iteration=int(iter_s))
+                    )
+                else:
+                    raise ValueError(f"unknown fault clause key {key!r}")
+            except (IndexError, ValueError) as exc:
+                raise ValueError(f"bad fault clause {clause!r}: {exc}") from None
+        return cls(
+            seed=seed,
+            delay=delay,
+            drop=drop,
+            retry=retry,
+            slow=tuple(slow),
+            crashes=tuple(crashes),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the plan."""
+        parts = [f"seed={self.seed}"]
+        if self.delay is not None:
+            parts.append(f"delay {self.delay.prob:.0%} (+{self.delay.extra * 1e3:g}ms)")
+        if self.drop is not None:
+            parts.append(
+                f"drop {self.drop.prob:.0%} (<= {self.retry.max_attempts} attempts)"
+            )
+        for w in self.slow:
+            window = "" if w.end is None else f" until t={w.end:g}s"
+            parts.append(f"rank {w.rank} slow x{w.factor:g} from t={w.start:g}s{window}")
+        for c in self.crashes:
+            parts.append(f"rank {c.rank} crashes at iteration {c.iteration}")
+        return ", ".join(parts)
+
+
+@dataclass
+class FaultReport:
+    """Aggregated fault activity of one run (summed across ranks).
+
+    Attributes:
+        messages: Point-to-point messages injected while faults were armed.
+        delayed: Messages whose flight time was perturbed.
+        dropped: Transmission attempts that were lost.
+        retries: Resends performed by the reliable-delivery layer.
+        lost: Messages abandoned after exhausting the retry budget.
+        crashes: Crash events consumed by the recovery layer.
+    """
+
+    messages: int = 0
+    delayed: int = 0
+    dropped: int = 0
+    retries: int = 0
+    lost: int = 0
+    crashes: int = 0
+
+    def summary(self) -> str:
+        """Human-readable one-liner for CLI output."""
+        return (
+            f"{self.messages} messages: {self.delayed} delayed, "
+            f"{self.dropped} attempts dropped ({self.retries} retries, "
+            f"{self.lost} lost), {self.crashes} crashes"
+        )
+
+
+class _RankCounters:
+    """Per-rank fault counters (owned by that rank's thread; no locking)."""
+
+    __slots__ = ("messages", "delayed", "dropped", "retries", "lost", "crashes")
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.delayed = 0
+        self.dropped = 0
+        self.retries = 0
+        self.lost = 0
+        self.crashes = 0
+
+
+class FaultState:
+    """Per-run mutable runtime state for a :class:`FaultPlan`.
+
+    One instance exists per :meth:`SimCluster.run <repro.mpi.runtime.
+    SimCluster.run>` invocation.  Each rank owns a private PRNG stream and
+    counter block, touched only from that rank's thread -- determinism and
+    thread-safety both follow from the partitioning.
+    """
+
+    def __init__(self, plan: FaultPlan, nprocs: int) -> None:
+        plan.validate_ranks(nprocs)
+        self.plan = plan
+        self.nprocs = nprocs
+        self._rngs = [
+            random.Random(plan.seed * 1_000_003 + rank + 1) for rank in range(nprocs)
+        ]
+        self._counters = [_RankCounters() for _ in range(nprocs)]
+
+    # ------------------------------------------------------------------ #
+    # Decision draws (called from the owning rank's thread only)
+    # ------------------------------------------------------------------ #
+
+    def count_message(self, rank: int) -> None:
+        """Record one message injection by ``rank``."""
+        self._counters[rank].messages += 1
+
+    def next_drop(self, rank: int) -> bool:
+        """Draw the drop decision for ``rank``'s next transmission attempt."""
+        drop = self.plan.drop
+        if drop is None or drop.prob == 0.0:
+            return False
+        fired = self._rngs[rank].random() < drop.prob
+        if fired:
+            self._counters[rank].dropped += 1
+        return fired
+
+    def next_delay(self, rank: int) -> float:
+        """Extra flight seconds for ``rank``'s next delivered message."""
+        delay = self.plan.delay
+        if delay is None or delay.prob == 0.0:
+            return 0.0
+        if self._rngs[rank].random() < delay.prob:
+            self._counters[rank].delayed += 1
+            return delay.extra
+        return 0.0
+
+    def count_retry(self, rank: int) -> None:
+        """Record one resend by ``rank``."""
+        self._counters[rank].retries += 1
+
+    def count_lost(self, rank: int) -> None:
+        """Record one message abandoned by ``rank``."""
+        self._counters[rank].lost += 1
+
+    def count_crash(self, rank: int) -> None:
+        """Record one crash event consumed for ``rank``."""
+        self._counters[rank].crashes += 1
+
+    def compute_scale(self, rank: int, clock: float) -> float:
+        """Slow-rank CPU multiplier for ``rank`` at virtual time ``clock``."""
+        return self.plan.compute_scale(rank, clock)
+
+    # ------------------------------------------------------------------ #
+    # Reporting (call after the run has joined all rank threads)
+    # ------------------------------------------------------------------ #
+
+    def report(self) -> FaultReport:
+        """Sum the per-rank counters into one :class:`FaultReport`."""
+        out = FaultReport()
+        for c in self._counters:
+            out.messages += c.messages
+            out.delayed += c.delayed
+            out.dropped += c.dropped
+            out.retries += c.retries
+            out.lost += c.lost
+            out.crashes += c.crashes
+        return out

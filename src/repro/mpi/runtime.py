@@ -32,6 +32,7 @@ from typing import Any, Callable, Sequence
 
 from .communicator import Communicator
 from .errors import CommAbortedError, DeadlockError
+from .faults import FaultPlan, FaultState
 from .message import Message
 from .timing import ORIGIN2000, MachineModel
 
@@ -71,6 +72,15 @@ class SimCluster:
         machine: Cost model used for every communication operation.
         deadlock_timeout: Real-time seconds of global inactivity after which
             blocked ranks abort with :class:`DeadlockError`.
+        faults: Optional seeded :class:`~repro.mpi.faults.FaultPlan`; a
+            fresh per-run :class:`~repro.mpi.faults.FaultState` is built at
+            every :meth:`run`, so re-running the same plan replays the same
+            faults.
+        sched_jitter: Test hook: a callable invoked (outside the runtime
+            lock) at every transport entry point -- deliver, receive wait,
+            barrier.  The schedule-fuzzing determinism suite injects small
+            real-time sleeps here to perturb host-thread interleavings
+            without touching virtual time.
     """
 
     def __init__(
@@ -78,12 +88,19 @@ class SimCluster:
         nprocs: int,
         machine: MachineModel = ORIGIN2000,
         deadlock_timeout: float = 10.0,
+        faults: FaultPlan | None = None,
+        sched_jitter: Callable[[], None] | None = None,
     ) -> None:
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
         self.machine = machine
         self.deadlock_timeout = deadlock_timeout
+        self.faults = faults
+        self.fault_state: FaultState | None = (
+            FaultState(faults, nprocs) if faults is not None else None
+        )
+        self._sched_jitter = sched_jitter
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._ranks = [RankState(r) for r in range(nprocs)]
@@ -121,6 +138,24 @@ class SimCluster:
             raise ValueError(
                 f"per_rank_args must have {self.nprocs} entries, got {len(per_rank_args)}"
             )
+        # Every run() starts from a clean machine: zeroed clocks, empty
+        # mailboxes, no stale abort/finished flags (a poisoned flag from a
+        # failed run would trip the watchdog), and -- when a fault plan is
+        # armed -- fresh per-rank decision streams, so the same plan replays
+        # the same faults even if the cluster object is reused.
+        for state in self._ranks:
+            state.clock = 0.0
+            state.mailbox.clear()
+            state.finished = False
+            state.blocked = False
+            state.result = None
+            state.error = None
+        self._barriers.clear()
+        self._progress = 0
+        self._aborted = False
+        self._abort_reason = None
+        if self.faults is not None:
+            self.fault_state = FaultState(self.faults, self.nprocs)
 
         def runner(rank: int) -> None:
             state = self._ranks[rank]
@@ -184,8 +219,14 @@ class SimCluster:
     # Message transport (called by Communicator)
     # ------------------------------------------------------------------ #
 
+    def _jitter(self) -> None:
+        """Invoke the schedule-fuzzing hook (never while holding the lock)."""
+        if self._sched_jitter is not None:
+            self._sched_jitter()
+
     def deliver(self, msg: Message) -> None:
         """Place ``msg`` into the destination mailbox and wake waiters."""
+        self._jitter()
         with self._cond:
             self._check_abort()
             self._ranks[msg.dest].mailbox.append(msg)
@@ -248,6 +289,7 @@ class SimCluster:
         self, rank: int, source: int, tag: int, comm_id: Any, consume: bool = True
     ) -> Message:
         """Block rank's thread until a matching message exists, then pop it."""
+        self._jitter()
         state = self._ranks[rank]
         waited = 0.0
         poll = 0.05
@@ -298,6 +340,7 @@ class SimCluster:
         All participants' clocks are advanced to
         ``max(entry clocks) + barrier_time(len(group))``.
         """
+        self._jitter()
         state = self._ranks[rank]
         with self._cond:
             self._check_abort()
@@ -344,7 +387,15 @@ def run_mpi(
     machine: MachineModel = ORIGIN2000,
     deadlock_timeout: float = 10.0,
     per_rank_args: Sequence[tuple[Any, ...]] | None = None,
+    faults: FaultPlan | None = None,
+    sched_jitter: Callable[[], None] | None = None,
 ) -> list[Any]:
     """One-shot convenience wrapper: build a cluster, run ``fn``, return results."""
-    cluster = SimCluster(nprocs, machine=machine, deadlock_timeout=deadlock_timeout)
+    cluster = SimCluster(
+        nprocs,
+        machine=machine,
+        deadlock_timeout=deadlock_timeout,
+        faults=faults,
+        sched_jitter=sched_jitter,
+    )
     return cluster.run(fn, *args, per_rank_args=per_rank_args)

@@ -132,6 +132,17 @@ class MachineModel:
             return 0.0
         return self.barrier_latency * ceil(log2(nprocs))
 
+    def ack_timeout(self, nbytes: int) -> float:
+        """Default per-attempt ack timeout of a reliable-delivery layer.
+
+        When fault injection drops messages, the sending communicator waits
+        this long (virtual time) before resending -- unless the
+        :class:`~repro.mpi.faults.RetryPolicy` pins an explicit timeout.
+        The classic rule of thumb: a round trip plus a generous margin of
+        per-message latencies.
+        """
+        return 2.0 * self.transfer_time(nbytes) + 8.0 * self.latency
+
     def with_overrides(self, **kwargs: Any) -> "MachineModel":
         """Return a copy of this model with selected fields replaced."""
         current = {f.name: getattr(self, f.name) for f in fields(self)}

@@ -9,6 +9,8 @@ from repro.core import PHASE_NAMES, PhaseTimes
 
 class TestPhaseTimes:
     def test_phase_names_match_paper_order(self):
+        # The paper's six categories in Figure-21/22 order, plus our
+        # checkpoint/restart extension appended last.
         assert PHASE_NAMES == (
             "initialization",
             "computation_overhead",
@@ -16,6 +18,7 @@ class TestPhaseTimes:
             "communication_overhead",
             "communicate",
             "load_balancing",
+            "recovery",
         )
 
     def test_total(self):

@@ -186,6 +186,108 @@ class TestFailureHandling:
             run_mpi(fn, 2, deadlock_timeout=5.0)
 
 
+class TestErrorPathConformance:
+    """Error paths must carry diagnosable information and release every
+    rank -- the watchdog and abort machinery's contract."""
+
+    def test_recv_cycle_deadlock_message_names_the_wait(self):
+        """The watchdog's DeadlockError says who is stuck waiting on what."""
+
+        def fn(comm):
+            comm.recv(source=(comm.rank + 1) % comm.size, tag=9)
+
+        with pytest.raises((DeadlockError, CommAbortedError)) as excinfo:
+            run_mpi(fn, 3, deadlock_timeout=0.3)
+        text = str(excinfo.value)
+        assert "deadlock" in text
+        assert "tag=9" in text
+
+    def test_barrier_deadlock_message_names_the_rank(self):
+        def fn(comm):
+            if comm.rank == 0:
+                return  # exits without entering the barrier
+            comm.barrier()
+
+        with pytest.raises((DeadlockError, CommAbortedError)) as excinfo:
+            run_mpi(fn, 2, deadlock_timeout=0.3)
+        assert "barrier" in str(excinfo.value)
+
+    def test_original_exception_type_survives_propagation(self):
+        """SimCluster.run re-raises the *original* rank exception, not a
+        wrapper -- peers get CommAbortedError, the caller gets the cause."""
+
+        class AppSpecificError(Exception):
+            pass
+
+        def fn(comm):
+            if comm.rank == 2:
+                raise AppSpecificError("rank 2's own failure")
+            comm.recv(source=2)  # peers block on the dead rank
+
+        with pytest.raises(AppSpecificError, match="rank 2's own failure"):
+            run_mpi(fn, 4, deadlock_timeout=5.0)
+
+    def test_abort_reason_names_failed_rank(self):
+        cluster = SimCluster(2, deadlock_timeout=5.0)
+
+        def fn(comm):
+            if comm.rank == 1:
+                raise KeyError("lost node")
+            comm.recv(source=1)
+
+        with pytest.raises(KeyError):
+            cluster.run(fn)
+        assert "rank 1" in (cluster._abort_reason or "")
+        assert "KeyError" in (cluster._abort_reason or "")
+
+    def test_eager_send_send_cycle_completes(self):
+        """A send/send cycle cannot deadlock under eager buffering: sends
+        complete locally, each rank then drains its inbox."""
+
+        def fn(comm):
+            peer = (comm.rank + 1) % comm.size
+            comm.send(comm.rank, peer, tag=4)
+            return comm.recv(source=(comm.rank - 1) % comm.size, tag=4)
+
+        assert run_mpi(fn, 4, deadlock_timeout=5.0) == [3, 0, 1, 2]
+
+    def test_message_lost_error_reaches_caller(self):
+        from repro.mpi import DropSpec, FaultPlan, MessageLostError, RetryPolicy
+
+        plan = FaultPlan(
+            seed=0,
+            drop=DropSpec(prob=1.0),
+            retry=RetryPolicy(max_attempts=2, timeout=1e-4),
+        )
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("doomed", 1)
+            else:
+                comm.recv(source=0)
+
+        with pytest.raises(MessageLostError):
+            run_mpi(fn, 2, faults=plan, deadlock_timeout=5.0)
+
+    def test_failed_run_leaves_cluster_reusable(self):
+        """After an abort, a fresh run() on the same cluster starts clean."""
+        cluster = SimCluster(2, deadlock_timeout=5.0)
+
+        def broken(comm):
+            if comm.rank == 0:
+                raise RuntimeError("first run dies")
+            comm.recv(source=0)
+
+        with pytest.raises(RuntimeError):
+            cluster.run(broken)
+
+        def healthy(comm):
+            comm.barrier()
+            return comm.rank
+
+        assert cluster.run(healthy) == [0, 1]
+
+
 class TestDeterminism:
     def test_virtual_times_are_reproducible(self):
         def fn(comm):

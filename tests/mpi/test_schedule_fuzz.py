@@ -1,0 +1,111 @@
+"""Schedule-fuzzing conformance suite.
+
+The virtual-time substrate promises that results depend only on the program
+and the (seeded) fault plan -- never on how the host OS happens to schedule
+the rank threads.  These tests *attack* that promise: the ``sched_jitter``
+hook injects randomized real-time sleeps at the runtime's scheduling points
+(message delivery, receive waits, barrier entry), perturbing thread
+interleavings as hard as a loaded CI box would, and every run must still be
+bit-identical -- virtual clocks, execution traces, and node results.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.apps.average import make_average_fn
+from repro.core import ICPlatform, PlatformConfig
+from repro.core.bsp import run_bsp
+from repro.graphs import hex32
+from repro.mpi import FaultPlan, IDEAL, run_mpi
+from repro.partitioning import MetisLikePartitioner
+
+#: Distinct host schedules to try per scenario (10 per the conformance spec).
+RUNS = 10
+
+
+def make_jitter(seed: int, max_sleep: float = 2e-4):
+    """A jitter hook: sleep a seed-dependent random real-time amount."""
+    rng = random.Random(seed)
+
+    def jitter() -> None:
+        # Skip some sleeps entirely so interleavings differ in *structure*,
+        # not just in pace.
+        if rng.random() < 0.5:
+            time.sleep(rng.random() * max_sleep)
+
+    return jitter
+
+
+class TestBspScheduleFuzz:
+    def test_bsp_program_is_schedule_independent(self):
+        """The same BSP program under 10 perturbed host schedules produces
+        bit-identical virtual clocks and states."""
+
+        def prog(comm):
+            def step(superstep, state, inbox, c):
+                total = state + sum(inbox)
+                out = [
+                    ((c.rank + 1) % c.size, c.rank * 100 + superstep),
+                    ((c.rank + 2) % c.size, superstep),
+                ]
+                c.work((c.rank + 1) * 1e-4)
+                return total, out, superstep < 8
+            final, steps = run_bsp(comm, step, 0, max_supersteps=12)
+            return final, steps, comm.Wtime()
+
+        reference = run_mpi(prog, 5, machine=IDEAL)
+        for i in range(RUNS):
+            fuzzed = run_mpi(
+                prog, 5, machine=IDEAL, sched_jitter=make_jitter(seed=i)
+            )
+            assert fuzzed == reference, f"schedule {i} changed the results"
+
+    def test_bsp_with_faults_is_schedule_independent(self):
+        """Fault decisions are drawn per-rank in program order, so even a
+        faulty run must not depend on the host schedule."""
+        plan = FaultPlan.parse("seed=11,delay=0.2:0.002,drop=0.1,retry=12:1e-4,crash=1@4")
+
+        def prog(comm):
+            def step(superstep, state, inbox, c):
+                out = [((c.rank + 1) % c.size, c.rank + superstep)]
+                return state + sum(inbox), out, superstep < 6
+            final, steps = run_bsp(
+                comm, step, 0, max_supersteps=10, checkpoint_every=2
+            )
+            return final, steps, comm.Wtime()
+
+        reference = run_mpi(prog, 4, faults=plan, deadlock_timeout=10.0)
+        for i in range(RUNS):
+            fuzzed = run_mpi(
+                prog,
+                4,
+                faults=plan,
+                deadlock_timeout=10.0,
+                sched_jitter=make_jitter(seed=1000 + i),
+            )
+            assert fuzzed == reference, f"schedule {i} changed the faulty run"
+
+
+class TestPlatformScheduleFuzz:
+    def test_platform_run_is_schedule_independent(self):
+        """Full platform sweeps (shadow exchange + trace) under perturbed
+        schedules: virtual clocks, traces, and node values all identical."""
+        graph = hex32()
+        partition = MetisLikePartitioner(seed=0).partition(graph, 4)
+        config = PlatformConfig(iterations=4, track_trace=True)
+
+        def run(jitter=None):
+            platform = ICPlatform(graph, make_average_fn(1e-4), config=config)
+            return platform.run(partition, sched_jitter=jitter)
+
+        reference = run()
+        for i in range(RUNS):
+            fuzzed = run(jitter=make_jitter(seed=2000 + i))
+            assert fuzzed.elapsed == reference.elapsed
+            assert fuzzed.values == reference.values
+            assert fuzzed.trace.records == reference.trace.records
+            assert [p.as_dict() for p in fuzzed.phases] == [
+                p.as_dict() for p in reference.phases
+            ]

@@ -107,6 +107,20 @@ class TestRun:
                      "--workload", "imbalance", "--iterations", "25",
                      "--dynamic", "--rebalance-mode", "repartition"]) == 0
 
+    def test_run_with_fault_injection(self, hexfile, capsys):
+        assert main(["run", "--graph", str(hexfile), "--np", "4",
+                     "--iterations", "8", "--checkpoint-period", "3",
+                     "--faults", "seed=7,delay=0.1,crash=1@5"]) == 0
+        out = capsys.readouterr().out
+        assert "fault report" in out
+        assert "recoveries    1" in out
+        assert "rank 1 crashes at iteration 5" in out
+
+    def test_run_rejects_bad_fault_spec(self, hexfile):
+        with pytest.raises(SystemExit):
+            main(["run", "--graph", str(hexfile), "--np", "2",
+                  "--iterations", "2", "--faults", "explode=yes"])
+
     def test_run_overlap_and_machines(self, hexfile):
         for machine in ("ideal", "ethernet"):
             assert main(["run", "--graph", str(hexfile), "--np", "2",
