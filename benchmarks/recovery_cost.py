@@ -1,0 +1,69 @@
+"""Recovery-cost benchmark: rollback vs shrink on a mid-run crash.
+
+Not part of the paper's evaluation -- it measures the platform extension
+that keeps computing on the survivors after a permanent crash.  Rank 2
+dies at ~50 % progress of a 40-iteration imbalanced-average run on the
+64-node hex grid; both policies must reproduce the fault-free final node
+values bit-for-bit, and shrink must finish sooner in virtual time than a
+full rollback (which pays the dead rank's restart and re-executes on the
+same processor count every time the fault re-fires).
+
+Run standalone (writes ``benchmarks/results/BENCH_recovery.json``)::
+
+    PYTHONPATH=src python benchmarks/recovery_cost.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/recovery_cost.py -q
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench import RecoveryComparison, run_recovery_comparison
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run(results_dir: Path = RESULTS_DIR) -> RecoveryComparison:
+    comparison = run_recovery_comparison(
+        nprocs=4,
+        iterations=40,
+        crash_rank=2,
+        crash_iteration=21,
+        checkpoint_period=5,
+    )
+    results_dir.mkdir(exist_ok=True)
+    payload = json.dumps(comparison.to_dict(), indent=2) + "\n"
+    (results_dir / "BENCH_recovery.json").write_text(payload)
+    (results_dir / "recovery_cost.txt").write_text(comparison.render() + "\n")
+    return comparison
+
+
+def test_recovery_cost():
+    comparison = run()
+    print(f"\n{comparison.render()}\n")
+    rollback = comparison.runs["rollback"]
+    shrink = comparison.runs["shrink"]
+    # Transparency: both policies land on the fault-free result exactly.
+    assert rollback.values_match_baseline
+    assert shrink.values_match_baseline
+    # The crash is real under both policies.
+    assert rollback.recoveries == 1 and shrink.recoveries == 1
+    assert shrink.dead_ranks == (2,)
+    assert rollback.dead_ranks == ()
+    assert shrink.nodes_redistributed > 0
+    # The headline claim: continuing on the survivors beats a full
+    # rollback-with-restart when the crash lands mid-run.
+    assert comparison.shrink_beats_rollback, (
+        f"shrink {shrink.elapsed:.4f}s vs rollback {rollback.elapsed:.4f}s"
+    )
+
+
+if __name__ == "__main__":
+    result = run()
+    print(result.render())
+    if not result.shrink_beats_rollback:
+        raise SystemExit("FAIL: shrink did not beat rollback")

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from repro.apps.battlefield import (
     ARMS,
-    ArmsHexState,
     CombinedArmsApp,
     ForceMix,
     opposing_arms_fronts,

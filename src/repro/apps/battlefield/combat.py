@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .state import BLUE, RED, HexState
+from .state import HexState
 
 __all__ = ["CombatModel"]
 

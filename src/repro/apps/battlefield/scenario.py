@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ...graphs.hexgrid import HexGrid
-from .state import BLUE, RED, HexState
+from .state import HexState
 
 __all__ = [
     "Scenario",

@@ -9,7 +9,7 @@ reference and a residual metric so convergence is testable.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping
+from typing import Mapping
 
 from ..core.compute import ComputeContext, NodeFn, NodeView
 from ..graphs.graph import Graph

@@ -3,7 +3,10 @@
 from .harness import (
     PERSISTENT_IMBALANCE,
     PROCS,
+    RECOVERY_IMBALANCE,
     OverheadResult,
+    RecoveryComparison,
+    RecoveryRun,
     battlefield_partitioners,
     hex_graph,
     run_average_once,
@@ -13,6 +16,7 @@ from .harness import (
     run_metis_vs_pagrid,
     run_overheads,
     run_random_table,
+    run_recovery_comparison,
     run_speedup_figure,
     run_static_vs_dynamic,
 )
@@ -25,6 +29,9 @@ __all__ = [
     "PAPER_TABLES",
     "PERSISTENT_IMBALANCE",
     "PROCS",
+    "RECOVERY_IMBALANCE",
+    "RecoveryComparison",
+    "RecoveryRun",
     "SeriesFigure",
     "battlefield_partitioners",
     "format_seconds",
@@ -36,6 +43,7 @@ __all__ = [
     "run_metis_vs_pagrid",
     "run_overheads",
     "run_random_table",
+    "run_recovery_comparison",
     "run_speedup_figure",
     "run_static_vs_dynamic",
 ]

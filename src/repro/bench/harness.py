@@ -10,12 +10,13 @@ usable from a REPL to regenerate any piece of the paper's evaluation::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Sequence
 
 from ..apps.average import COARSE_GRAIN, FINE_GRAIN, make_average_fn
 from ..apps.battlefield import BattlefieldApp, general_engagement
 from ..apps.imbalance import ImbalanceSchedule, make_imbalanced_average_fn
 from ..core.config import PlatformConfig
+from ..mpi.faults import FaultPlan
 from ..core.loadbalance import CentralizedHeuristicBalancer, GreedyPairBalancer
 from ..core.phases import PhaseTimes
 from ..core.platform import ICPlatform, PlatformResult
@@ -48,8 +49,12 @@ __all__ = [
     "run_battlefield_table",
     "run_battlefield_speedups",
     "run_overheads",
+    "run_recovery_comparison",
+    "RecoveryComparison",
+    "RecoveryRun",
     "battlefield_partitioners",
     "PERSISTENT_IMBALANCE",
+    "RECOVERY_IMBALANCE",
 ]
 
 #: Persistent-imbalance schedule used by the static-vs-dynamic figures: the
@@ -59,6 +64,18 @@ __all__ = [
 #: rolling schedule cannot be rebalanced by its own one-task migrations).
 PERSISTENT_IMBALANCE = ImbalanceSchedule(
     windows=((10**9, 0.0, 0.5),), heavy_grain=COARSE_GRAIN, light_grain=FINE_GRAIN
+)
+
+#: Imbalance schedule for the recovery-cost comparison: same persistent
+#: heavy band, but fine-grained (heavy = the paper's fine grain, light a
+#: third of it).  With per-iteration compute this small, the cost of
+#: finishing on ``nprocs - 1`` survivors is tiny next to the fixed price
+#: of acquiring and restarting a replacement processor -- the regime where
+#: shrinking recovery is the right call.  (With coarse grain the verdict
+#: flips: capacity loss dominates and rollback-with-restart wins; the
+#: comparison harness lets you measure either by passing a schedule.)
+RECOVERY_IMBALANCE = ImbalanceSchedule(
+    windows=((10**9, 0.0, 0.5),), heavy_grain=FINE_GRAIN, light_grain=0.1e-3
 )
 
 
@@ -399,6 +416,152 @@ class OverheadResult:
             cells = [f"{getattr(self.phases[p], name) * 1e3:.2f}ms" for p in self.procs]
             lines.append(name.ljust(26) + "".join(c.ljust(12) for c in cells))
         return "\n".join(lines)
+
+
+@dataclass
+class RecoveryRun:
+    """Cost accounting for one platform run under one recovery policy."""
+
+    policy: str
+    elapsed: float
+    recoveries: int
+    dead_ranks: tuple[int, ...]
+    recovery_phase_time: float
+    detection_cost: float
+    reconfiguration_cost: float
+    nodes_redistributed: int
+    values_match_baseline: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "elapsed_s": self.elapsed,
+            "recoveries": self.recoveries,
+            "dead_ranks": list(self.dead_ranks),
+            "recovery_phase_time_s": self.recovery_phase_time,
+            "detection_cost_s": self.detection_cost,
+            "reconfiguration_cost_s": self.reconfiguration_cost,
+            "nodes_redistributed": self.nodes_redistributed,
+            "values_match_baseline": self.values_match_baseline,
+        }
+
+
+@dataclass
+class RecoveryComparison:
+    """Rollback vs shrink on the same faulty workload.
+
+    ``baseline`` is the fault-free run of the identical configuration;
+    both policies must reproduce its final node values bit-for-bit (the
+    transparency claim), they just pay for the crash differently.
+    """
+
+    experiment_id: str
+    title: str
+    baseline_elapsed: float
+    runs: dict[str, RecoveryRun]
+
+    @property
+    def shrink_beats_rollback(self) -> bool:
+        return self.runs["shrink"].elapsed < self.runs["rollback"].elapsed
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "baseline_elapsed_s": self.baseline_elapsed,
+            "policies": {name: run.to_dict() for name, run in self.runs.items()},
+            "shrink_beats_rollback": self.shrink_beats_rollback,
+        }
+
+    def render(self) -> str:
+        lines = [self.title, "-" * len(self.title)]
+        lines.append(f"fault-free baseline: {self.baseline_elapsed:.4f}s")
+        header = (
+            "policy".ljust(10)
+            + "elapsed".ljust(12)
+            + "recovery".ljust(12)
+            + "detect".ljust(12)
+            + "reconfig".ljust(12)
+            + "redistributed".ljust(15)
+            + "values ok"
+        )
+        lines.append(header)
+        for name, run in self.runs.items():
+            lines.append(
+                name.ljust(10)
+                + f"{run.elapsed:.4f}s".ljust(12)
+                + f"{run.recovery_phase_time * 1e3:.2f}ms".ljust(12)
+                + f"{run.detection_cost * 1e3:.2f}ms".ljust(12)
+                + f"{run.reconfiguration_cost * 1e3:.2f}ms".ljust(12)
+                + str(run.nodes_redistributed).ljust(15)
+                + ("yes" if run.values_match_baseline else "NO")
+            )
+        winner = "shrink" if self.shrink_beats_rollback else "rollback"
+        lines.append(f"winner: {winner}")
+        return "\n".join(lines)
+
+
+def run_recovery_comparison(
+    graph: Graph | None = None,
+    nprocs: int = 4,
+    iterations: int = 40,
+    crash_rank: int = 2,
+    crash_iteration: int | None = None,
+    checkpoint_period: int = 5,
+    schedule: ImbalanceSchedule = RECOVERY_IMBALANCE,
+    seed: int = 1,
+    machine: MachineModel = ORIGIN2000,
+    experiment_id: str = "recovery_cost",
+) -> RecoveryComparison:
+    """Recovery-cost accounting: rollback vs shrink on one mid-run crash.
+
+    Runs the imbalanced-average application three times on identical
+    partitions -- fault-free, rollback, shrink -- with a single permanent
+    crash (default: at ~50 % progress) and collects per-policy cost
+    breakdowns from the execution trace.
+    """
+    graph = graph or hex_graph(64)
+    if crash_iteration is None:
+        crash_iteration = iterations // 2
+    partition = MetisLikePartitioner(seed=seed).partition(graph, nprocs)
+    node_fn = make_imbalanced_average_fn(schedule)
+
+    def run_once(policy: str, plan: FaultPlan | None) -> PlatformResult:
+        config = PlatformConfig(
+            iterations=iterations,
+            checkpoint_period=checkpoint_period,
+            recovery_policy=policy,
+            track_trace=True,
+        )
+        platform = ICPlatform(graph, node_fn, config=config)
+        return platform.run(partition, machine=machine, faults=plan)
+
+    baseline = run_once("rollback", None)
+    plan = FaultPlan.parse(f"seed={seed},crash={crash_rank}@{crash_iteration}")
+    runs: dict[str, RecoveryRun] = {}
+    for policy in ("rollback", "shrink"):
+        result = run_once(policy, plan)
+        events = result.trace.reconfiguration_events()
+        runs[policy] = RecoveryRun(
+            policy=policy,
+            elapsed=result.elapsed,
+            recoveries=result.recoveries,
+            dead_ranks=result.dead_ranks,
+            recovery_phase_time=max(p.recovery for p in result.phases),
+            detection_cost=sum(e.detection_cost for e in events),
+            reconfiguration_cost=sum(e.reconfiguration_cost for e in events),
+            nodes_redistributed=sum(e.nodes_redistributed for e in events),
+            values_match_baseline=result.values == baseline.values,
+        )
+    return RecoveryComparison(
+        experiment_id=experiment_id,
+        title=(
+            f"Recovery cost on {graph.name}: crash rank {crash_rank} @ "
+            f"iteration {crash_iteration}/{iterations} ({nprocs} procs)"
+        ),
+        baseline_elapsed=baseline.elapsed,
+        runs=runs,
+    )
 
 
 def run_overheads(

@@ -187,13 +187,24 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:  # the Figure-23 rolling imbalance
         node_fn = make_imbalanced_average_fn(PAPER_SCHEDULE)
 
+    if args.checkpoint_keep < 1:
+        print(
+            f"repro run: error: --checkpoint-keep: must be >= 1, "
+            f"got {args.checkpoint_keep}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+
     faults = None
     if args.faults:
         try:
             faults = FaultPlan.parse(args.faults)
             faults.validate_ranks(args.np)
         except ValueError as exc:
-            raise SystemExit(f"--faults: {exc}")
+            # One line naming the bad clause, exit code 2 (usage error) --
+            # matching argparse's own convention, not a traceback.
+            print(f"repro run: error: --faults: {exc}", file=sys.stderr)
+            raise SystemExit(2)
 
     config = PlatformConfig(
         iterations=args.iterations,
@@ -202,6 +213,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         overlap_communication=args.overlap,
         rebalance_mode=args.rebalance_mode,
         checkpoint_period=args.checkpoint_period,
+        checkpoint_keep=args.checkpoint_keep,
+        recovery_policy=args.recovery,
     )
     balancer = _BALANCERS[args.balancer](args.lb_threshold) if args.dynamic else None
     platform = ICPlatform(graph, node_fn, config=config, balancer=balancer)
@@ -222,7 +235,19 @@ def cmd_run(args: argparse.Namespace) -> int:
         if result.fault_report is not None:
             print(f"fault report  {result.fault_report.summary()}")
         print(f"checkpoints   {result.checkpoints}")
-        print(f"recoveries    {result.recoveries}")
+        print(f"recoveries    {result.recoveries} (policy: {args.recovery})")
+        if result.dead_ranks:
+            survivors = args.np - len(result.dead_ranks)
+            print(
+                f"dead ranks    {list(result.dead_ranks)} "
+                f"(finished on {survivors} survivors)"
+            )
+        for event in result.trace.reconfiguration_events():
+            print(
+                f"reconfigured  iter {event.iteration}: "
+                f"{event.nodes_redistributed} nodes redistributed, "
+                f"detect {event.detection_cost * 1e3:.3f}ms"
+            )
     if args.phases:
         print("phase breakdown (mean per rank):")
         for name, seconds in result.mean_phases.as_dict().items():
@@ -341,6 +366,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "'seed=7,delay=0.05,drop=0.01,slow=1:3.0,crash=2@40'")
     run.add_argument("--checkpoint-period", type=int, default=0,
                      help="checkpoint every K iterations (0 = baseline only)")
+    run.add_argument("--checkpoint-keep", type=int, default=2,
+                     help="snapshots retained per rank (older ones pruned)")
+    run.add_argument("--recovery", choices=("rollback", "shrink"),
+                     default="rollback",
+                     help="crash recovery policy: rollback (restore everyone, "
+                          "resurrect the dead rank) or shrink (continue on "
+                          "the survivors)")
     run.set_defaults(fn=cmd_run)
 
     bench = sub.add_parser("bench", help="regenerate a paper table/figure ('all' for the full report)")

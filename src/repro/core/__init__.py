@@ -34,8 +34,15 @@ from .node import INTERNAL, PERIPHERAL, NodeData, OwnNode
 from .nodestore import NodeStore
 from .phases import PHASE_NAMES, PhaseTimes
 from .platform import ICPlatform, PlatformResult, RankOutcome, run_platform
+from .recovery import (
+    TAG_RECOVERY,
+    ShrinkOutcome,
+    redistribute_lost_nodes,
+    send_dying_checkpoint,
+    shrink_reconfigure,
+)
 from .repartition import measured_node_weights, repartition_phase
-from .trace import ExecutionTrace, IterationRecord
+from .trace import ExecutionTrace, IterationRecord, ReconfigurationRecord
 
 __all__ = [
     "BUFFER_RECORD_TYPE",
@@ -69,12 +76,16 @@ __all__ = [
     "PlatformCosts",
     "PlatformResult",
     "RankOutcome",
+    "ReconfigurationRecord",
+    "ShrinkOutcome",
     "TAG_MIGRATE",
+    "TAG_RECOVERY",
     "TAG_SHADOW",
     "VertexContext",
     "VertexProgram",
     "build_processor_edges",
     "measured_node_weights",
+    "redistribute_lost_nodes",
     "repartition_phase",
     "run_bsp",
     "run_vertex_program",
@@ -82,6 +93,8 @@ __all__ = [
     "migrate_node",
     "run_platform",
     "select_migrating_node",
+    "send_dying_checkpoint",
+    "shrink_reconfigure",
     "sweep_basic",
     "sweep_overlapped",
 ]

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Protocol
+from typing import Any, Callable, Protocol
 
 from ..graphs.graph import Graph
 from ..mpi.communicator import Communicator
@@ -94,6 +94,10 @@ def run_bsp(
                     handled_crashes.add((c.rank, c.iteration))
                     if c.rank == comm.rank and fault_state is not None:
                         fault_state.count_crash(comm.rank)
+                # Noticing the failure is not free: every rank charges the
+                # heartbeat-timeout + agreement-round latency the machine
+                # model prices for this world size.
+                comm.work(comm.machine.detection_time(comm.size))
                 saved_superstep, payload = snapshot
                 state, inbox = pickle.loads(payload)
                 comm.barrier()

@@ -58,14 +58,27 @@ class Checkpointer:
             iterations (0 disables periodic checkpoints; the baseline taken
             via :meth:`take` at iteration 0 still allows restart-from-
             scratch recovery).
+        keep: Retain at most this many snapshots; older ones are pruned as
+            new ones arrive, so long runs with small periods hold bounded
+            memory.  Rollback always restores the newest snapshot; keeping
+            one spare guards against a checkpoint interrupted by the next
+            failure.  Must be >= 1.
     """
 
-    def __init__(self, period: int = 0) -> None:
+    def __init__(self, period: int = 0, keep: int = 2) -> None:
         if period < 0:
             raise ValueError(f"checkpoint period must be >= 0, got {period}")
+        if keep < 1:
+            raise ValueError(f"checkpoint keep must be >= 1, got {keep}")
         self.period = period
-        self.last: Checkpoint | None = None
+        self.keep = keep
+        self.snapshots: list[Checkpoint] = []
         self.taken = 0
+
+    @property
+    def last(self) -> Checkpoint | None:
+        """The newest retained snapshot (None before the first take)."""
+        return self.snapshots[-1] if self.snapshots else None
 
     def due(self, iteration: int) -> bool:
         """Whether a periodic checkpoint is owed after ``iteration``."""
@@ -95,7 +108,8 @@ class Checkpointer:
                 f"iteration-{iteration} checkpoint failed to serialize: {exc}"
             ) from exc
         checkpoint = Checkpoint(iteration=iteration, payload=payload)
-        self.last = checkpoint
+        self.snapshots.append(checkpoint)
+        del self.snapshots[: -self.keep]
         self.taken += 1
         return checkpoint
 

@@ -58,9 +58,14 @@ class PlatformCosts:
         restore_item_cost: Rebuilding one data-node record (plus its hash
             table slot) while restoring a checkpoint.
         crash_detect_cost: Fixed failure-detection + coordination latency
-            every rank pays when a crash fault fires.
+            every rank pays when a crash fault fires under the ``rollback``
+            policy (the ``shrink`` policy prices detection through the
+            machine model's heartbeat parameters instead).
         restart_fixed_cost: Extra fixed cost the *crashed* rank pays to
-            respawn before it can restore its checkpoint.
+            respawn before it can restore its checkpoint (rollback policy
+            only -- it covers process re-launch, MPI re-initialization, and
+            rejoining the world communicator, which is why shrinking past
+            the failure is usually cheaper).
     """
 
     list_item_cost: float = 2.0e-6
@@ -79,7 +84,7 @@ class PlatformCosts:
     checkpoint_item_cost: float = 4.0e-6
     restore_item_cost: float = 6.0e-6
     crash_detect_cost: float = 2.0e-3
-    restart_fixed_cost: float = 20.0e-3
+    restart_fixed_cost: float = 0.5
 
     def with_overrides(self, **kwargs: Any) -> "PlatformCosts":
         """Copy with selected constants replaced."""
@@ -119,6 +124,14 @@ class PlatformConfig:
             post-initialization baseline checkpoint is always taken, so
             recovery works even with periodic checkpoints disabled (it just
             replays from iteration 1).
+        checkpoint_keep: Snapshots retained per rank (older ones pruned);
+            bounds checkpoint memory on long runs with small periods.
+        recovery_policy: What to do when a crash fault fires:
+            ``"rollback"`` (all ranks restore the last checkpoint and
+            re-execute, the dead rank resurrected -- PR 1 behaviour) or
+            ``"shrink"`` (survivors drop the dead rank from the
+            communicator, adopt its checkpointed partition, and continue on
+            ``nprocs - 1`` processors).
         track_phases: Record per-phase virtual-time breakdowns.
         track_trace: Record a per-iteration :class:`~repro.core.trace.
             ExecutionTrace` (makespans, compute imbalance, migrations).
@@ -137,6 +150,8 @@ class PlatformConfig:
     max_migrations_per_pair: int = 1
     rebalance_mode: str = "migrate"
     checkpoint_period: int = 0
+    checkpoint_keep: int = 2
+    recovery_policy: str = "rollback"
     track_phases: bool = True
     track_trace: bool = False
     validate_each_iteration: bool = False
@@ -157,6 +172,15 @@ class PlatformConfig:
         if self.checkpoint_period < 0:
             raise ValueError(
                 f"checkpoint_period must be >= 0, got {self.checkpoint_period}"
+            )
+        if self.checkpoint_keep < 1:
+            raise ValueError(
+                f"checkpoint_keep must be >= 1, got {self.checkpoint_keep}"
+            )
+        if self.recovery_policy not in ("rollback", "shrink"):
+            raise ValueError(
+                f"recovery_policy must be 'rollback' or 'shrink', "
+                f"got {self.recovery_policy!r}"
             )
         if self.rebalance_mode not in ("migrate", "repartition"):
             raise ValueError(

@@ -80,6 +80,21 @@ class DistributedDirectory:
             for gid in gids:
                 self._home_table[gid] = owner_rank
 
+    def rebind(self, comm: Communicator, store: NodeStore | None = None) -> None:
+        """Rebuild the directory on a different communicator (collective).
+
+        After a shrinking recovery the world changed size, which moves
+        every gid's modulo home; the old home table is discarded and all
+        survivors re-register their (possibly enlarged) ownership on the
+        new communicator.  Also used after repartitioning when the caller
+        swapped in a fresh store.
+        """
+        self.comm = comm
+        if store is not None:
+            self.store = store
+        self._home_table.clear()
+        self.register_owned()
+
     # ------------------------------------------------------------------ #
     # Collective resolution
     # ------------------------------------------------------------------ #

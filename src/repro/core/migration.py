@@ -20,7 +20,7 @@ and patch it identically, so the roles fall out of local state.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any
 
 from ..mpi.communicator import Communicator
 from .compute import ComputeContext

@@ -15,7 +15,7 @@ Two records exist per node, mirroring the C structs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 __all__ = ["NodeKind", "NodeData", "OwnNode", "INTERNAL", "PERIPHERAL"]

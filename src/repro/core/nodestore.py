@@ -132,6 +132,16 @@ class NodeStore:
         """Global IDs present as shadows (data held, not owned)."""
         return sorted(gid for gid in self.data_records if not self.owns(gid))
 
+    def owned_values(self) -> dict[int, Any]:
+        """``gid -> committed value`` for every owned node.
+
+        The currency of every store rebuild (repartitioning, shrink
+        recovery): committed values are partition-independent, so carrying
+        them into a fresh store reproduces results bit-identically under a
+        different ownership map.
+        """
+        return {node.global_id: node.data.data for node in self.owned_nodes()}
+
     def value_of(self, gid: int) -> Any:
         """Committed value of any locally known node (via the hash table)."""
         record = self.hash_table.get(gid)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field
 
 __all__ = ["PhaseTimes", "PHASE_NAMES"]
 
@@ -34,9 +34,11 @@ class PhaseTimes:
         communicate: Shipping and receiving shadow-node messages.
         load_balancing: Gathering imbalance statistics and migrating tasks.
         recovery: Taking checkpoints, detecting crashes, and restoring
-            state after a fault-injected rank failure (re-executed
+            state after a fault-injected rank failure -- under the shrink
+            policy this also covers communicator reconfiguration and the
+            redistribution of the dead rank's partition (re-executed
             iterations land in their usual categories; this bucket holds
-            only the checkpoint/restart machinery itself).
+            only the fault-tolerance machinery itself).
     """
 
     initialization: float = 0.0

@@ -27,6 +27,7 @@ from typing import Any, Callable, Sequence
 
 from ..graphs.graph import Graph
 from ..mpi.communicator import Communicator
+from ..mpi.failure import FailureDetector
 from ..mpi.faults import FaultPlan, FaultReport
 from ..mpi.runtime import SimCluster
 from ..mpi.timing import ORIGIN2000, MachineModel
@@ -39,8 +40,9 @@ from .loadbalance import CentralizedHeuristicBalancer, LoadBalancer
 from .migration import MigrationEvent, load_balance_phase
 from .nodestore import NodeStore
 from .phases import PhaseTimes
+from .recovery import send_dying_checkpoint, shrink_reconfigure
 from .repartition import repartition_phase
-from .trace import ExecutionTrace, IterationRecord
+from .trace import ExecutionTrace, IterationRecord, ReconfigurationRecord
 
 __all__ = ["ICPlatform", "PlatformResult", "RankOutcome", "run_platform"]
 
@@ -49,7 +51,15 @@ InitValueFn = Callable[[int], Any]
 
 @dataclass
 class RankOutcome:
-    """What one rank reports back after the run."""
+    """What one rank reports back after the run.
+
+    ``rank`` is always the *world* rank (shrinking recovery re-ranks the
+    communicator, but outcomes stay addressed by the original identity).
+    A rank killed by a crash fault under the shrink policy reports
+    ``dead=True`` with empty values/ownership; its trace records past its
+    last checkpoint are pruned (survivors re-executed those iterations
+    without it).
+    """
 
     rank: int
     elapsed: float
@@ -61,6 +71,8 @@ class RankOutcome:
     trace_records: list[IterationRecord] = field(default_factory=list)
     recoveries: int = 0
     checkpoints: int = 0
+    dead: bool = False
+    reconfigurations: list[ReconfigurationRecord] = field(default_factory=list)
 
 
 @dataclass
@@ -80,10 +92,12 @@ class PlatformResult:
         migrations: Every executed migration, in order.
         repartitions: Full from-scratch repartitions executed (repartition
             rebalance mode only).
-        recoveries: Checkpoint rollbacks performed after injected crashes
-            (coordinated, so every rank rolls back together; this counts
-            recovery *events*, not rank-rollbacks).
+        recoveries: Recovery events performed after injected crashes
+            (rollbacks or shrinks; collective, so this counts *events*, not
+            per-rank actions).
         checkpoints: Checkpoints each rank took (baseline + periodic).
+        dead_ranks: World ranks lost to crash faults under the shrink
+            policy (empty under rollback -- the dead are resurrected).
         fault_report: Tally of injected fault activity when the run used a
             :class:`~repro.mpi.faults.FaultPlan`, else ``None``.
     """
@@ -99,6 +113,7 @@ class PlatformResult:
     trace: ExecutionTrace = field(default_factory=ExecutionTrace)
     recoveries: int = 0
     checkpoints: int = 0
+    dead_ranks: tuple[int, ...] = ()
     fault_report: FaultReport | None = None
 
     @property
@@ -195,6 +210,10 @@ class ICPlatform:
         for outcome in outcomes:
             for gid in outcome.owned:
                 final_assignment[gid - 1] = outcome.rank
+        # Migration/repartition/recovery logs are recorded collectively, so
+        # any *surviving* rank's copy is authoritative (rank 0 itself may be
+        # the one the fault plan killed).
+        reporter = next(o for o in outcomes if not o.dead)
         return PlatformResult(
             elapsed=max(o.elapsed for o in outcomes),
             nprocs=nprocs,
@@ -202,13 +221,19 @@ class ICPlatform:
             phases=[o.phases for o in outcomes],
             values=values,
             final_assignment=tuple(final_assignment),
-            migrations=list(outcomes[0].migrations),
-            repartitions=outcomes[0].repartitions,
+            migrations=list(reporter.migrations),
+            repartitions=reporter.repartitions,
             trace=ExecutionTrace(
-                record for outcome in outcomes for record in outcome.trace_records
+                (record for outcome in outcomes for record in outcome.trace_records),
+                (
+                    record
+                    for outcome in outcomes
+                    for record in outcome.reconfigurations
+                ),
             ),
-            recoveries=outcomes[0].recoveries,
+            recoveries=reporter.recoveries,
             checkpoints=sum(o.checkpoints for o in outcomes),
+            dead_ranks=tuple(sorted(o.rank for o in outcomes if o.dead)),
             fault_report=(
                 cluster.fault_state.report() if cluster.fault_state is not None else None
             ),
@@ -220,6 +245,9 @@ class ICPlatform:
         config = self.config
         phases = PhaseTimes()
         sweep = sweep_overlapped if config.overlap_communication else sweep_basic
+        # Stable identity: shrink recovery re-ranks the communicator, but
+        # outcomes and trace records stay addressed by the original rank.
+        world_rank = comm.rank
 
         # ---- Initialization phase -------------------------------------
         t0 = comm.Wtime()
@@ -255,10 +283,15 @@ class ICPlatform:
         fault_state = comm.faults
         plan = fault_state.plan if fault_state is not None else None
         has_crashes = plan is not None and bool(plan.crashes)
-        checkpointer = Checkpointer(config.checkpoint_period)
+        checkpointer = Checkpointer(config.checkpoint_period, keep=config.checkpoint_keep)
         recoveries = 0
         attempt = 0
         handled_crashes: set[tuple[int, int]] = set()
+        shrinking = has_crashes and config.recovery_policy == "shrink"
+        detector = (
+            FailureDetector(plan, comm.machine, comm.size) if shrinking else None
+        )
+        reconfigurations: list[ReconfigurationRecord] = []
 
         def loop_extras() -> dict[str, Any]:
             # Rollback-sensitive loop state that lives outside the store.
@@ -279,7 +312,85 @@ class ICPlatform:
 
         iteration = 1
         while iteration <= config.iterations:
-            if has_crashes:
+            if shrinking:
+                detected = detector.poll(iteration)
+                dead_locals = (
+                    sorted(
+                        local
+                        for local in (
+                            comm.local_rank_of(e.rank) for e in detected.events
+                        )
+                        if local is not None
+                    )
+                    if detected is not None
+                    else []
+                )
+                if dead_locals:
+                    dead_worlds = tuple(comm.world_rank_of(d) for d in dead_locals)
+                    if comm.rank in dead_locals:
+                        # This rank dies: hand the last checkpoint to the
+                        # survivors' coordinator and leave the computation.
+                        # Trace records past the checkpoint describe work
+                        # the survivors will redo without this rank, so
+                        # they are pruned rather than left to shadow the
+                        # re-executed iterations.
+                        if fault_state is not None:
+                            fault_state.count_crash(world_rank)
+                        send_dying_checkpoint(comm, checkpointer, dead_locals)
+                        last_saved = checkpointer.last.iteration
+                        return RankOutcome(
+                            rank=world_rank,
+                            elapsed=comm.Wtime(),
+                            phases=phases,
+                            values={},
+                            owned=[],
+                            migrations=migrations,
+                            repartitions=repartitions,
+                            trace_records=[
+                                r
+                                for r in trace_records
+                                if r.iteration <= last_saved
+                            ],
+                            recoveries=recoveries,
+                            checkpoints=checkpointer.taken,
+                            dead=True,
+                            reconfigurations=reconfigurations,
+                        )
+                    t_rec = comm.Wtime()
+                    comm.work(detected.detection_cost)
+                    shrunk = shrink_reconfigure(
+                        comm, store, ctx, checkpointer, dead_locals
+                    )
+                    store = shrunk.store
+                    comm = shrunk.comm
+                    ctx.comm = comm
+                    buffers = CommBuffers(comm.size)
+                    extras = shrunk.extras
+                    window_exec_time = extras["window_exec_time"]
+                    migrations[:] = extras["migrations"]
+                    repartitions = extras["repartitions"]
+                    ctx.node_compute = dict(extras["node_compute"])
+                    recovery_elapsed = comm.Wtime() - t_rec
+                    phases.recovery += recovery_elapsed
+                    reconfigurations.append(
+                        ReconfigurationRecord(
+                            rank=world_rank,
+                            iteration=iteration,
+                            policy="shrink",
+                            dead_ranks=dead_worlds,
+                            survivors=shrunk.survivors,
+                            nodes_redistributed=shrunk.nodes_redistributed,
+                            detection_cost=detected.detection_cost,
+                            reconfiguration_cost=recovery_elapsed
+                            - detected.detection_cost,
+                            resumed_iteration=shrunk.saved_iteration + 1,
+                        )
+                    )
+                    recoveries += 1
+                    attempt += 1
+                    iteration = shrunk.saved_iteration + 1
+                    continue
+            elif has_crashes:
                 crashes = [
                     c
                     for c in plan.crashes_at(iteration)
@@ -308,7 +419,22 @@ class ICPlatform:
                     repartitions = extras["repartitions"]
                     ctx.node_compute = dict(extras["node_compute"])
                     comm.barrier()
-                    phases.recovery += comm.Wtime() - t_rec
+                    recovery_elapsed = comm.Wtime() - t_rec
+                    phases.recovery += recovery_elapsed
+                    reconfigurations.append(
+                        ReconfigurationRecord(
+                            rank=world_rank,
+                            iteration=iteration,
+                            policy="rollback",
+                            dead_ranks=tuple(sorted(c.rank for c in crashes)),
+                            survivors=comm.group,
+                            nodes_redistributed=0,
+                            detection_cost=config.costs.crash_detect_cost,
+                            reconfiguration_cost=recovery_elapsed
+                            - config.costs.crash_detect_cost,
+                            resumed_iteration=saved_iteration + 1,
+                        )
+                    )
                     recoveries += 1
                     attempt += 1
                     iteration = saved_iteration + 1
@@ -377,7 +503,7 @@ class ICPlatform:
                 )
                 trace_records.append(
                     IterationRecord(
-                        rank=comm.rank,
+                        rank=world_rank,
                         iteration=iteration,
                         start=iter_clock_start,
                         end=comm.Wtime(),
@@ -401,18 +527,17 @@ class ICPlatform:
         comm.barrier()
         elapsed = comm.Wtime()
         return RankOutcome(
-            rank=comm.rank,
+            rank=world_rank,
             elapsed=elapsed,
             phases=phases,
-            values={
-                node.global_id: node.data.data for node in store.owned_nodes()
-            },
+            values=store.owned_values(),
             owned=[node.global_id for node in store.owned_nodes()],
             migrations=migrations,
             repartitions=repartitions,
             trace_records=trace_records,
             recoveries=recoveries,
             checkpoints=checkpointer.taken,
+            reconfigurations=reconfigurations,
         )
 
 def run_platform(

@@ -108,9 +108,7 @@ def repartition_phase(
         return store, False
 
     # ---- 2. carry committed values over (full exchange) ---------------
-    own_values = {
-        node.global_id: node.data.data for node in store.owned_nodes()
-    }
+    own_values = store.owned_values()
     all_values: dict[int, Any] = {}
     for chunk in comm.allgather(own_values):
         all_values.update(chunk)

@@ -14,10 +14,10 @@ balancer actually flatten it), and a text timeline rendering.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
-__all__ = ["IterationRecord", "ExecutionTrace"]
+__all__ = ["IterationRecord", "ReconfigurationRecord", "ExecutionTrace"]
 
 
 @dataclass(frozen=True)
@@ -54,11 +54,54 @@ class IterationRecord:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class ReconfigurationRecord:
+    """One recovery event as one survivor saw it.
+
+    Every survivor records the same logical content (dead ranks, survivor
+    re-ranking, redistribution counts) because recovery is collective and
+    deterministic; only ``rank`` differs across the copies the platform
+    aggregates.
+
+    Attributes:
+        rank: The *world* rank that recorded this (a survivor).
+        iteration: 1-based iteration at whose start the failure surfaced.
+        policy: ``"rollback"`` or ``"shrink"``.
+        dead_ranks: World ranks lost in this event, ascending.
+        survivors: Surviving world ranks in their new dense-rank order
+            (``survivors[new_local_rank] == world_rank``); under rollback
+            this is simply the full world, unchanged.
+        nodes_redistributed: Graph nodes reassigned from the dead ranks to
+            survivors (0 under rollback -- the dead rank is resurrected).
+        detection_cost: Virtual seconds each survivor charged to notice and
+            agree on the failure.
+        reconfiguration_cost: Virtual seconds this rank spent on everything
+            after detection: checkpoint restore, communicator shrink, state
+            redistribution, store rebuild.
+        resumed_iteration: First iteration (re-)executed after recovery.
+    """
+
+    rank: int
+    iteration: int
+    policy: str
+    dead_ranks: tuple[int, ...]
+    survivors: tuple[int, ...]
+    nodes_redistributed: int
+    detection_cost: float
+    reconfiguration_cost: float
+    resumed_iteration: int
+
+
 class ExecutionTrace:
     """All ranks' iteration records for one platform run."""
 
-    def __init__(self, records: Iterable[IterationRecord] = ()) -> None:
+    def __init__(
+        self,
+        records: Iterable[IterationRecord] = (),
+        reconfigurations: Iterable[ReconfigurationRecord] = (),
+    ) -> None:
         self._records: list[IterationRecord] = list(records)
+        self._reconfigurations: list[ReconfigurationRecord] = list(reconfigurations)
 
     def add(self, record: IterationRecord) -> None:
         """Append one record."""
@@ -74,6 +117,29 @@ class ExecutionTrace:
     @property
     def records(self) -> tuple[IterationRecord, ...]:
         return tuple(self._records)
+
+    @property
+    def reconfigurations(self) -> tuple[ReconfigurationRecord, ...]:
+        """All recovery events, in (iteration, rank) order."""
+        return tuple(
+            sorted(self._reconfigurations, key=lambda r: (r.iteration, r.rank))
+        )
+
+    def add_reconfiguration(self, record: ReconfigurationRecord) -> None:
+        """Append one recovery event record."""
+        self._reconfigurations.append(record)
+
+    def reconfiguration_events(self) -> list[ReconfigurationRecord]:
+        """One representative record per recovery event (lowest rank's copy).
+
+        Survivors record identical logical content, so collapsing by
+        iteration + dead set gives the per-event view without double
+        counting the per-rank copies.
+        """
+        seen: dict[tuple[int, tuple[int, ...]], ReconfigurationRecord] = {}
+        for r in self.reconfigurations:
+            seen.setdefault((r.iteration, r.dead_ranks), r)
+        return [seen[key] for key in sorted(seen)]
 
     # ------------------------------------------------------------------ #
     # Aggregations
@@ -190,5 +256,14 @@ class ExecutionTrace:
             lines.append(
                 f"recovery: {len(redone)} iteration records rolled back, "
                 f"{overhead * 1e3:.3f}ms re-executed"
+            )
+        for event in self.reconfiguration_events():
+            lines.append(
+                f"reconfiguration @ iter {event.iteration} [{event.policy}]: "
+                f"dead={','.join(str(r) for r in event.dead_ranks)}, "
+                f"{len(event.survivors)} survivors, "
+                f"{event.nodes_redistributed} nodes redistributed, "
+                f"detect {event.detection_cost * 1e3:.3f}ms + "
+                f"reconfigure {event.reconfiguration_cost * 1e3:.3f}ms"
             )
         return "\n".join(lines)

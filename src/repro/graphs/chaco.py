@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Sequence, TextIO
+from typing import Sequence
 
 from .graph import Graph
 

@@ -33,8 +33,10 @@ from .errors import (
     InvalidTagError,
     MessageLostError,
     MPIError,
+    ShrinkError,
     TruncationError,
 )
+from .failure import DetectedFailure, FailureDetector
 from .faults import (
     CrashEvent,
     DelaySpec,
@@ -66,9 +68,11 @@ __all__ = [
     "Datatype",
     "DeadlockError",
     "DelaySpec",
+    "DetectedFailure",
     "DropSpec",
     "DOUBLE",
     "ETHERNET_CLUSTER",
+    "FailureDetector",
     "FaultPlan",
     "FaultReport",
     "FaultState",
@@ -87,6 +91,7 @@ __all__ = [
     "RecvRequest",
     "Request",
     "SendRequest",
+    "ShrinkError",
     "SimCluster",
     "Status",
     "StructType",

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Sequence
 
-from .errors import InvalidRankError, InvalidTagError, MessageLostError
+from .errors import InvalidRankError, InvalidTagError, MessageLostError, ShrinkError
 from .message import ANY_SOURCE, ANY_TAG, Message, RecvRequest, Request, SendRequest, Status
 from .timing import estimate_nbytes
 
@@ -68,6 +68,23 @@ class Communicator:
     def machine(self):
         """The machine cost model this communicator charges against."""
         return self._cluster.machine
+
+    @property
+    def group(self) -> tuple[int, ...]:
+        """World ranks of the members, in local-rank order."""
+        return self._group
+
+    def world_rank_of(self, local: int) -> int:
+        """World rank of communicator-local rank ``local``."""
+        self._check_peer(local)
+        return self._group[local]
+
+    def local_rank_of(self, world: int) -> int | None:
+        """Local rank of world rank ``world`` (None if not a member)."""
+        try:
+            return self._group.index(world)
+        except ValueError:
+            return None
 
     @property
     def faults(self):
@@ -426,6 +443,63 @@ class Communicator:
         self._child_seq += 1
         new_id = (self._comm_id, "dup", self._child_seq)
         return Communicator(self._cluster, self._world_rank, self._group, new_id)
+
+    def shrink(
+        self, dead: Iterable[int], quarantine: bool = True
+    ) -> "Communicator | None":
+        """ULFM-style survivor communicator excluding ``dead`` local ranks.
+
+        All *survivors* must call this collectively with the same ``dead``
+        set (dead ranks, by definition, do not call anything).  No messages
+        are exchanged: the survivor group, the new dense ranking (relative
+        order preserved), and the channel id are all pure functions of the
+        current group and the dead set, so every survivor derives the same
+        communicator without synchronizing -- exactly what a recovery path
+        needs when part of the machine is gone.
+
+        Args:
+            dead: Communicator-local ranks declared failed.
+            quarantine: Also purge this rank's in-flight messages from the
+                dead ranks on the *old* channel.  Pass ``False`` when the
+                caller still needs to drain a dying rank's last messages
+                (e.g. its final checkpoint) and quarantine explicitly later.
+
+        Returns:
+            The shrunken communicator, or ``None`` when called by a rank
+            that is itself in ``dead`` (mirrors ``split(color=None)``).
+
+        Raises:
+            ShrinkError: Empty dead set, out-of-range ranks, or no survivors.
+        """
+        dead_set = frozenset(dead)
+        if not dead_set:
+            raise ShrinkError("shrink requires at least one dead rank")
+        for r in dead_set:
+            if not 0 <= r < self.size:
+                raise ShrinkError(f"dead rank {r} outside [0, {self.size})")
+        if len(dead_set) >= self.size:
+            raise ShrinkError("shrink would leave an empty communicator")
+        survivors = tuple(r for r in range(self.size) if r not in dead_set)
+        new_group = tuple(self._group[r] for r in survivors)
+        # Channel id derived from the dead set, not a counter: survivors may
+        # have different _child_seq histories, but they agree on who died.
+        new_id = (self._comm_id, "shrink", tuple(sorted(dead_set)))
+        if quarantine:
+            self.quarantine(dead_set)
+        if self._rank in dead_set:
+            return None
+        return Communicator(self._cluster, self._world_rank, new_group, new_id)
+
+    def quarantine(self, dead: Iterable[int]) -> int:
+        """Purge in-flight messages from ``dead`` local ranks on this channel.
+
+        Idempotent; returns the number of messages discarded.  Used after a
+        shrink so stale traffic from the failed rank can never match a
+        receive posted on the old communicator.
+        """
+        return self._cluster.quarantine(
+            self._world_rank, frozenset(dead), self._comm_id
+        )
 
     def split(self, color: int | None, key: int | None = None) -> "Communicator | None":
         """Partition ranks by ``color``; order new groups by ``(key, rank)``.

@@ -33,6 +33,11 @@ class TruncationError(MPIError):
     """A received message was larger than the posted receive allows."""
 
 
+class ShrinkError(MPIError):
+    """``Communicator.shrink`` was called with an invalid dead-rank set
+    (empty, out of range, or covering every member of the group)."""
+
+
 class MessageLostError(MPIError):
     """A message was dropped by fault injection and the sender exhausted its
     retry budget (:class:`~repro.mpi.faults.RetryPolicy`) without getting a

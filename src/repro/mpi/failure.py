@@ -1,0 +1,94 @@
+"""Deterministic failure detection over the virtual-time substrate.
+
+A real ULFM-style runtime discovers failures asynchronously: heartbeats stop
+arriving, a timeout expires, survivors gossip the suspicion and agree.  On
+the virtual-time simulator the *schedule* of crashes is part of the seeded
+:class:`~repro.mpi.faults.FaultPlan`, so detection can be modelled exactly
+without any host-time races: every rank consults the same plan at the same
+BSP boundary and reaches the same verdict, while the *cost* of the
+real-world protocol (heartbeat timeout + log-tree agreement round) is
+charged to the virtual clocks through
+:meth:`~repro.mpi.timing.MachineModel.detection_time`.
+
+This keeps the two halves of failure detection cleanly separated:
+
+* **what** failed and **when** -- a pure function of the plan, identical on
+  every rank and every host schedule (the schedule-fuzz suite depends on
+  this);
+* **how long** noticing it takes -- a machine-model property, so detection
+  latency shows up in the recovery phase accounting just like any other
+  communication cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .faults import CrashEvent, FaultPlan
+
+__all__ = ["FailureDetector", "DetectedFailure"]
+
+
+@dataclass(frozen=True)
+class DetectedFailure:
+    """One failure verdict produced by the detector at a BSP boundary.
+
+    Attributes:
+        iteration: 1-based iteration at whose start the failure surfaced.
+        events: The crash events detected, ascending by world rank.
+        detection_cost: Virtual seconds each *survivor* charges for the
+            heartbeat timeout plus the agreement round.
+    """
+
+    iteration: int
+    events: tuple[CrashEvent, ...]
+    detection_cost: float
+
+
+class FailureDetector:
+    """Replays a fault plan's crash schedule as deterministic detections.
+
+    One instance lives on each rank (they are cheap and independent);
+    because every instance reads the same plan and is polled at the same
+    iteration boundaries, all ranks agree on every verdict without
+    exchanging messages.  A crash aimed at an already-dead rank is ignored
+    -- a rank can only die once.
+
+    Args:
+        plan: The armed fault plan (may be ``None``: detector never fires).
+        machine: Cost model used to price detection latency.
+        nprocs: World size the plan applies to; prices the agreement round.
+    """
+
+    def __init__(self, plan: FaultPlan | None, machine, nprocs: int) -> None:
+        self._plan = plan
+        self._machine = machine
+        self._nprocs = nprocs
+        self._dead: set[int] = set()
+
+    @property
+    def dead_ranks(self) -> frozenset[int]:
+        """World ranks detected dead so far."""
+        return frozenset(self._dead)
+
+    def poll(self, iteration: int) -> DetectedFailure | None:
+        """Check the plan for new crashes at the start of ``iteration``.
+
+        Returns ``None`` when nothing (new) failed.  Crashes of ranks that
+        already died earlier are swallowed; the surviving-rank count used to
+        price the agreement round excludes the newly dead.
+        """
+        if self._plan is None:
+            return None
+        fresh = tuple(
+            sorted(
+                (e for e in self._plan.crashes_at(iteration) if e.rank not in self._dead),
+                key=lambda e: e.rank,
+            )
+        )
+        if not fresh:
+            return None
+        self._dead.update(e.rank for e in fresh)
+        survivors = self._nprocs - len(self._dead)
+        cost = self._machine.detection_time(max(1, survivors))
+        return DetectedFailure(iteration=iteration, events=fresh, detection_cost=cost)

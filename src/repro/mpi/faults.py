@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Any, Iterable
+from typing import Any
 
 __all__ = [
     "DelaySpec",

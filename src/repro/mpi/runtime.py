@@ -215,6 +215,37 @@ class SimCluster:
             self._abort_reason = reason
             self._cond.notify_all()
 
+    def quarantine(self, rank: int, dead_srcs: frozenset[int], comm_id: Any) -> int:
+        """Drop ``rank``'s in-flight messages from dead peers on one comm.
+
+        ULFM-style hygiene after a shrink: any message a dead rank injected
+        before crashing must not be matched by a later receive on the old
+        communicator (the survivor would consume stale data and, worse,
+        *when* it got consumed would depend on host-thread timing).  Each
+        survivor purges its own mailbox; the operation is idempotent and
+        keyed to one ``comm_id`` so unrelated communicators are untouched.
+
+        Args:
+            rank: World rank whose mailbox is purged (the caller's own).
+            dead_srcs: Communicator-*local* source ranks to discard
+                (message ``src`` fields are comm-local).
+            comm_id: Channel whose traffic is purged.
+
+        Returns:
+            Number of messages discarded.
+        """
+        with self._cond:
+            mailbox = self._ranks[rank].mailbox
+            keep = [
+                m for m in mailbox if not (m.comm_id == comm_id and m.src in dead_srcs)
+            ]
+            dropped = len(mailbox) - len(keep)
+            if dropped:
+                mailbox[:] = keep
+                self._progress += 1
+                self._cond.notify_all()
+            return dropped
+
     # ------------------------------------------------------------------ #
     # Message transport (called by Communicator)
     # ------------------------------------------------------------------ #

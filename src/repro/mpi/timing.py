@@ -96,6 +96,11 @@ class MachineModel:
             ends on top of the overheads (the thesis's dominant
             "communication overhead" category scales with buffer length).
         barrier_latency: Per-tree-level cost of a barrier.
+        heartbeat_interval: Period of the (piggybacked) liveness heartbeats
+            the failure detector rides on, seconds of virtual time.
+        heartbeat_miss: Consecutive missed heartbeats before a rank is
+            suspected dead (the detector's timeout is
+            ``heartbeat_interval * heartbeat_miss``).
     """
 
     name: str = "generic"
@@ -105,6 +110,8 @@ class MachineModel:
     recv_overhead: float = 8e-6
     per_byte_cpu: float = 4e-9
     barrier_latency: float = 15e-6
+    heartbeat_interval: float = 2e-3
+    heartbeat_miss: int = 3
 
     def transfer_time(self, nbytes: int) -> float:
         """Network flight time of a message of ``nbytes`` payload bytes."""
@@ -131,6 +138,32 @@ class MachineModel:
         if nprocs <= 1:
             return 0.0
         return self.barrier_latency * ceil(log2(nprocs))
+
+    def detection_time(self, nprocs: int) -> float:
+        """Virtual time for ``nprocs`` survivors to agree a rank is dead.
+
+        Two additive terms, both deterministic:
+
+        * the local timeout -- ``heartbeat_miss`` consecutive heartbeat
+          periods must elapse before any single rank suspects the failure;
+        * a dissemination round -- survivors confirm the suspicion with a
+          log-tree exchange of small (one scalar) control messages, each
+          paying the usual alpha-beta + overhead cost.
+
+        Every survivor charges the same amount, which keeps the detector
+        schedule-independent: detection is a property of the *plan*, not of
+        which host thread happened to notice first.
+        """
+        timeout = self.heartbeat_interval * self.heartbeat_miss
+        if nprocs <= 1:
+            return timeout
+        rounds = ceil(log2(nprocs))
+        per_round = (
+            self.transfer_time(_SCALAR_NBYTES)
+            + self.sender_cpu(_SCALAR_NBYTES)
+            + self.receiver_cpu(_SCALAR_NBYTES)
+        )
+        return timeout + rounds * per_round
 
     def ack_timeout(self, nbytes: int) -> float:
         """Default per-attempt ack timeout of a reliable-delivery layer.
@@ -226,6 +259,7 @@ IDEAL = MachineModel(
     recv_overhead=0.0,
     per_byte_cpu=0.0,
     barrier_latency=0.0,
+    heartbeat_interval=0.0,
 )
 
 #: A slower commodity-cluster profile for ablation studies.

@@ -11,7 +11,7 @@ to the initialization phase.  A partitioner maps an application
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..graphs.graph import Graph

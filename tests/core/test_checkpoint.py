@@ -68,6 +68,38 @@ class TestCheckpointer:
         assert iteration == 2
         assert extras == {"window_exec_time": 1.5}
 
+    def test_retention_keeps_last_k(self):
+        graph = hex32()
+        store = make_store(graph, [0] * graph.num_nodes, lambda g: g)
+        ck = Checkpointer(period=1, keep=2)
+        for iteration in range(5):
+            ck.take(iteration, store)
+        assert ck.taken == 5
+        assert [c.iteration for c in ck.snapshots] == [3, 4]
+        assert ck.last.iteration == 4
+
+    def test_retention_default_is_two(self):
+        graph = hex32()
+        store = make_store(graph, [0] * graph.num_nodes, lambda g: g)
+        ck = Checkpointer(period=1)
+        for iteration in range(4):
+            ck.take(iteration, store)
+        assert len(ck.snapshots) == 2
+
+    def test_retention_of_one(self):
+        graph = hex32()
+        store = make_store(graph, [0] * graph.num_nodes, lambda g: g)
+        ck = Checkpointer(period=1, keep=1)
+        ck.take(0, store)
+        ck.take(1, store)
+        assert [c.iteration for c in ck.snapshots] == [1]
+        iteration, _ = ck.restore(store)
+        assert iteration == 1
+
+    def test_retention_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            Checkpointer(period=1, keep=0)
+
 
 class TestStoreRoundTrip:
     """capture_state/restore_state must be lossless for every application's

@@ -9,7 +9,6 @@ from repro.core import (
     ComputeContext,
     NodeStore,
     NodeView,
-    PlatformConfig,
     PlatformCosts,
     sweep_basic,
     sweep_overlapped,

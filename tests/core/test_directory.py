@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import ComputeContext, NodeStore, PlatformConfig, migrate_node
 from repro.core.directory import DistributedDirectory
-from repro.graphs import Graph, hex32, path_graph
+from repro.graphs import hex32, path_graph
 from repro.mpi import IDEAL, run_mpi
 
 

@@ -6,7 +6,7 @@ from __future__ import annotations
 import pytest
 
 from repro.apps import make_average_fn
-from repro.core import ICPlatform, PlatformConfig, run_platform
+from repro.core import ICPlatform, PlatformConfig
 from repro.graphs import hex32
 from repro.mpi import CommAbortedError, DeadlockError, IDEAL, run_mpi
 from repro.partitioning import MetisLikePartitioner, Partition

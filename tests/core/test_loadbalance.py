@@ -176,3 +176,59 @@ class TestDiffusion:
         from repro.core import DiffusionBalancer
 
         assert isinstance(DiffusionBalancer(), LoadBalancer)
+
+
+class TestFindPairsEdgeCases:
+    """Degenerate inputs both plug-in balancers must survive: an empty
+    store (no processors at all), a single rank, perfectly equal loads,
+    and a gap landing exactly on the threshold."""
+
+    @staticmethod
+    def balancers(threshold=0.25):
+        from repro.core import DiffusionBalancer
+
+        return [GreedyPairBalancer(threshold), DiffusionBalancer(threshold)]
+
+    def test_empty_store(self):
+        for balancer in self.balancers():
+            assert balancer.find_pairs([], []) == []
+
+    def test_single_rank(self):
+        # One processor has no neighbours, hence nowhere to shed load.
+        for balancer in self.balancers():
+            assert balancer.find_pairs([5.0], [[0]]) == []
+
+    def test_all_equal_loads(self):
+        for n in (2, 4, 7):
+            edges = ring_edges(n)
+            for balancer in self.balancers():
+                assert balancer.find_pairs([3.0] * n, edges) == []
+
+    def test_all_equal_loads_zero_threshold(self):
+        # The comparison is >=, so a zero gap at threshold 0 fires on every
+        # flat edge; pin that so a future tightening to > is a conscious
+        # choice.
+        edges = ring_edges(3)
+        for balancer in self.balancers(threshold=0.0):
+            pairs = balancer.find_pairs([2.0, 2.0, 2.0], edges)
+            assert pairs  # flat plateau, zero threshold: everything fires
+
+    def test_threshold_boundary_fires(self):
+        # Gap exactly == threshold: (1.25 - 1.0) / 1.0 == 0.25.  Both
+        # balancers use >=, so the boundary produces a pair.
+        edges = ring_edges(2)
+        for balancer in self.balancers(threshold=0.25):
+            pairs = balancer.find_pairs([1.25, 1.0], edges)
+            assert BusyIdlePair(0, 1) in pairs
+
+    def test_just_below_threshold_is_silent(self):
+        edges = ring_edges(2)
+        for balancer in self.balancers(threshold=0.25):
+            assert balancer.find_pairs([1.2499, 1.0], edges) == []
+
+    def test_zero_time_neighbor_never_divides(self):
+        # An idle (0s) neighbour must not blow up the relative-gap division
+        # and is never a candidate.
+        edges = ring_edges(2)
+        for balancer in self.balancers():
+            assert balancer.find_pairs([5.0, 0.0], edges) == []

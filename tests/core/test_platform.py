@@ -13,7 +13,7 @@ from repro.core import (
     run_platform,
 )
 from repro.graphs import Graph, hex32, hex64
-from repro.mpi import IDEAL, ORIGIN2000
+from repro.mpi import IDEAL
 from repro.partitioning import MetisLikePartitioner, Partition
 
 

@@ -109,3 +109,47 @@ class TestPlatformScheduleFuzz:
             assert [p.as_dict() for p in fuzzed.phases] == [
                 p.as_dict() for p in reference.phases
             ]
+
+    def test_shrink_recovery_is_schedule_independent(self):
+        """The acceptance scenario: a fixed seed and one permanent crash
+        under the shrink policy.  The whole reconfiguration -- failure
+        detection, communicator re-ranking, checkpoint hand-off,
+        redistribution of the lost partition -- must be bit-identical
+        across 10 perturbed host schedules, and the final node states must
+        match the fault-free run exactly."""
+        graph = hex32()
+        partition = MetisLikePartitioner(seed=0).partition(graph, 4)
+        plan = "seed=3,crash=2@5"
+
+        def run(faults=None, jitter=None):
+            config = PlatformConfig(
+                iterations=8,
+                checkpoint_period=3,
+                recovery_policy="shrink",
+                track_trace=True,
+            )
+            platform = ICPlatform(graph, make_average_fn(1e-4), config=config)
+            return platform.run(
+                partition,
+                faults=FaultPlan.parse(faults) if faults else None,
+                sched_jitter=jitter,
+                deadlock_timeout=10.0,
+            )
+
+        clean = run()
+        reference = run(faults=plan)
+        assert reference.values == clean.values  # transparency
+        assert reference.dead_ranks == (2,)
+        assert reference.trace.reconfiguration_events()
+        for i in range(RUNS):
+            fuzzed = run(faults=plan, jitter=make_jitter(seed=3000 + i))
+            assert fuzzed.elapsed == reference.elapsed
+            assert fuzzed.values == reference.values
+            assert fuzzed.final_assignment == reference.final_assignment
+            assert fuzzed.trace.records == reference.trace.records
+            assert (
+                fuzzed.trace.reconfigurations == reference.trace.reconfigurations
+            )
+            assert [p.as_dict() for p in fuzzed.phases] == [
+                p.as_dict() for p in reference.phases
+            ]

@@ -14,7 +14,6 @@ from repro.partitioning import (
     RoundRobinPartitioner,
 )
 from repro.partitioning.multilevel import (
-    CoarseLevel,
     coarsen,
     contract,
     fm_refine,

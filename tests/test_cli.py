@@ -116,10 +116,46 @@ class TestRun:
         assert "recoveries    1" in out
         assert "rank 1 crashes at iteration 5" in out
 
-    def test_run_rejects_bad_fault_spec(self, hexfile):
-        with pytest.raises(SystemExit):
+    def test_run_rejects_bad_fault_spec(self, hexfile, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             main(["run", "--graph", str(hexfile), "--np", "2",
                   "--iterations", "2", "--faults", "explode=yes"])
+        assert excinfo.value.code == 2
+
+    def test_bad_fault_spec_exits_2_naming_token(self, hexfile, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--graph", str(hexfile), "--np", "2",
+                  "--iterations", "2", "--faults", "seed=7,explode=yes"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line diagnostic
+        assert "--faults" in err
+        assert "explode" in err
+
+    def test_bad_recovery_policy_exits_2_naming_token(self, hexfile, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--graph", str(hexfile), "--np", "2",
+                  "--iterations", "2", "--recovery", "teleport"])
+        assert excinfo.value.code == 2
+        assert "teleport" in capsys.readouterr().err
+
+    def test_bad_checkpoint_keep_exits_2(self, hexfile, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--graph", str(hexfile), "--np", "2",
+                  "--iterations", "2", "--checkpoint-keep", "0"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--checkpoint-keep" in err and "0" in err
+
+    def test_run_shrink_recovery(self, hexfile, capsys):
+        assert main(["run", "--graph", str(hexfile), "--np", "4",
+                     "--iterations", "8", "--checkpoint-period", "3",
+                     "--recovery", "shrink",
+                     "--faults", "seed=7,crash=1@5"]) == 0
+        out = capsys.readouterr().out
+        assert "policy: shrink" in out
+        assert "dead ranks" in out and "1" in out
+        assert "reconfigured  iter 5" in out
 
     def test_run_overlap_and_machines(self, hexfile):
         for machine in ("ideal", "ethernet"):
