@@ -1,0 +1,83 @@
+"""Integrity-protection benchmark: what end-to-end data integrity costs.
+
+Not part of the paper's evaluation -- it measures the silent-corruption
+protection layered onto the platform: checksummed transport, per-superstep
+partition-state digests, and shadow-replica surgical repair.  Two workloads
+(the 1024-hex battlefield and a fine-grain Jacobi diffusion plate) are each
+run fault-free at ``off`` / ``checksum`` / ``full`` to price the steady-state
+overhead, then with one boundary-node memory flip injected mid-run to
+compare the ``full`` surgical repair against the ``digest`` checkpoint
+rollback -- and against the unprotected run, where the flip silently
+corrupts the final answer.
+
+Run standalone (writes ``benchmarks/results/BENCH_integrity.json``)::
+
+    PYTHONPATH=src python benchmarks/integrity_overhead.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/integrity_overhead.py -q
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench import IntegrityComparison, run_integrity_comparison
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run(results_dir: Path = RESULTS_DIR) -> IntegrityComparison:
+    comparison = run_integrity_comparison(
+        nprocs=4,
+        battlefield_steps=10,
+        plate_dims=(16, 16),
+        plate_iterations=30,
+        flip_rank=1,
+        checkpoint_period=5,
+    )
+    results_dir.mkdir(exist_ok=True)
+    payload = json.dumps(comparison.to_dict(), indent=2) + "\n"
+    (results_dir / "BENCH_integrity.json").write_text(payload)
+    (results_dir / "integrity_overhead.txt").write_text(comparison.render() + "\n")
+    return comparison
+
+
+def test_integrity_overhead():
+    comparison = run()
+    print(f"\n{comparison.render()}\n")
+    for workload in comparison.workloads.values():
+        # Protection costs something, but not much: checksums + digests stay
+        # within a modest fraction of the unprotected runtime.
+        for level in ("checksum", "full"):
+            run_ = workload.protection[level]
+            assert run_.overhead_pct is not None and run_.overhead_pct > 0.0
+            assert run_.overhead_pct < 25.0, (
+                f"{workload.name}/{level}: {run_.overhead_pct:.1f}% overhead"
+            )
+            # Fault-free protected runs are transparent.
+            assert run_.values_match_baseline
+        # Unprotected: the flip silently corrupts the final answer.
+        assert not workload.flip["off"].values_match_baseline
+        # Protected: zero silent escapes, by either recovery route.
+        assert workload.zero_escapes
+        assert workload.flip["digest"].rollbacks == 1
+        assert workload.flip["digest"].repairs == 0
+        assert workload.flip["full"].repairs == 1
+        assert workload.flip["full"].rollbacks == 0
+        # The headline claim: fixing one node from its replica beats
+        # rolling every rank back to a checkpoint and re-executing.
+        assert workload.repair_beats_rollback, (
+            f"{workload.name}: repair {workload.flip['full'].elapsed:.4f}s vs "
+            f"rollback {workload.flip['digest'].elapsed:.4f}s"
+        )
+
+
+if __name__ == "__main__":
+    result = run()
+    print(result.render())
+    for workload in result.workloads.values():
+        if not (workload.zero_escapes and workload.repair_beats_rollback):
+            raise SystemExit(f"FAIL: {workload.name}")

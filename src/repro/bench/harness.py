@@ -50,8 +50,12 @@ __all__ = [
     "run_battlefield_speedups",
     "run_overheads",
     "run_recovery_comparison",
+    "run_integrity_comparison",
     "RecoveryComparison",
     "RecoveryRun",
+    "IntegrityComparison",
+    "IntegrityWorkload",
+    "IntegrityRun",
     "battlefield_partitioners",
     "PERSISTENT_IMBALANCE",
     "RECOVERY_IMBALANCE",
@@ -561,6 +565,248 @@ def run_recovery_comparison(
         ),
         baseline_elapsed=baseline.elapsed,
         runs=runs,
+    )
+
+
+@dataclass
+class IntegrityRun:
+    """One platform run at one integrity level, fault-free or with a flip."""
+
+    level: str
+    elapsed: float
+    overhead_pct: float | None
+    repairs: int
+    rollbacks: int
+    values_match_baseline: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "level": self.level,
+            "elapsed_s": self.elapsed,
+            "overhead_pct": self.overhead_pct,
+            "repairs": self.repairs,
+            "rollbacks": self.rollbacks,
+            "values_match_baseline": self.values_match_baseline,
+        }
+
+
+@dataclass
+class IntegrityWorkload:
+    """Integrity-protection accounting for one application workload.
+
+    ``protection`` holds fault-free runs (the steady-state price of each
+    integrity level); ``flip`` holds runs with one boundary-node memory
+    flip injected mid-run (what each level does about it).
+    """
+
+    name: str
+    flip_gid: int
+    flip_iteration: int
+    protection: dict[str, IntegrityRun]
+    flip: dict[str, IntegrityRun]
+
+    @property
+    def repair_beats_rollback(self) -> bool:
+        """Surgical replica repair must undercut the checkpoint rollback."""
+        return self.flip["full"].elapsed < self.flip["digest"].elapsed
+
+    @property
+    def zero_escapes(self) -> bool:
+        """Every digest-protected run lands on the fault-free values."""
+        return (
+            self.flip["digest"].values_match_baseline
+            and self.flip["full"].values_match_baseline
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "flip_gid": self.flip_gid,
+            "flip_iteration": self.flip_iteration,
+            "protection": {k: r.to_dict() for k, r in self.protection.items()},
+            "flip": {k: r.to_dict() for k, r in self.flip.items()},
+            "repair_beats_rollback": self.repair_beats_rollback,
+            "zero_escapes": self.zero_escapes,
+        }
+
+
+@dataclass
+class IntegrityComparison:
+    """Unprotected vs checksum-only vs full integrity, across workloads."""
+
+    experiment_id: str
+    title: str
+    workloads: dict[str, IntegrityWorkload]
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "workloads": {k: w.to_dict() for k, w in self.workloads.items()},
+        }
+
+    def render(self) -> str:
+        lines = [self.title, "-" * len(self.title)]
+        for workload in self.workloads.values():
+            lines.append("")
+            lines.append(f"[{workload.name}] protection overhead (fault-free):")
+            for run in workload.protection.values():
+                pct = (
+                    f"+{run.overhead_pct:.2f}%"
+                    if run.overhead_pct is not None
+                    else "baseline"
+                )
+                lines.append(
+                    f"  {run.level:<10} {run.elapsed:.4f}s  {pct}"
+                )
+            lines.append(
+                f"[{workload.name}] boundary flip: node {workload.flip_gid} "
+                f"@ iteration {workload.flip_iteration}:"
+            )
+            for run in workload.flip.values():
+                outcome = (
+                    f"{run.repairs} repaired"
+                    if run.repairs
+                    else f"{run.rollbacks} rollbacks"
+                    if run.rollbacks
+                    else "undetected"
+                )
+                values = "values ok" if run.values_match_baseline else "CORRUPTED"
+                lines.append(
+                    f"  {run.level:<10} {run.elapsed:.4f}s  {outcome:<14} {values}"
+                )
+            verdict = "yes" if workload.repair_beats_rollback else "NO"
+            lines.append(f"  repair beats rollback: {verdict}")
+        return "\n".join(lines)
+
+
+def _boundary_gid(graph: Graph, assignment: Sequence[int], rank: int) -> int:
+    """Lowest node owned by ``rank`` with a neighbour on another rank."""
+    for gid in sorted(graph.nodes()):
+        if assignment[gid - 1] != rank:
+            continue
+        if any(assignment[nbr - 1] != rank for nbr in graph.neighbors(gid)):
+            return gid
+    raise ValueError(f"rank {rank} owns no boundary node")
+
+
+def run_integrity_comparison(
+    nprocs: int = 4,
+    battlefield_steps: int = 10,
+    plate_dims: tuple[int, int] = (16, 16),
+    plate_iterations: int = 30,
+    flip_rank: int = 1,
+    checkpoint_period: int = 5,
+    seed: int = 1,
+    machine: MachineModel = ORIGIN2000,
+    experiment_id: str = "integrity_overhead",
+) -> IntegrityComparison:
+    """End-to-end integrity accounting on two workloads.
+
+    For the 1024-hex battlefield and a fine-grain Jacobi diffusion plate:
+
+    * fault-free runs at ``off`` / ``checksum`` / ``full`` give the
+      steady-state protection overhead of the checksummed transport and the
+      per-superstep digests + claim exchange;
+    * a single boundary-node memory flip mid-run, handled at ``off``
+      (silent escape), ``digest`` (checkpoint rollback), and ``full``
+      (surgical replica repair), gives the repair-vs-rollback cost gap.
+    """
+    from ..apps.diffusion import hot_edge_plate, make_jacobi_fn
+
+    workloads: dict[str, IntegrityWorkload] = {}
+
+    app = BattlefieldApp(general_engagement())
+    bf_graph = app.graph()
+    bf_config = app.platform_config(steps=battlefield_steps)
+    bf_partition = MetisLikePartitioner(seed=seed).partition(bf_graph, nprocs)
+
+    def run_battlefield(level: str, faults: FaultPlan | None) -> PlatformResult:
+        config = bf_config.with_overrides(
+            integrity=level,
+            checkpoint_period=checkpoint_period if faults is not None else 0,
+        )
+        platform = ICPlatform(
+            bf_graph, app.node_fns(), init_value=app.init_value, config=config
+        )
+        return platform.run(bf_partition, machine=machine, faults=faults)
+
+    plate_graph, plate_boundary, plate_init = hot_edge_plate(*plate_dims)
+    plate_partition = MetisLikePartitioner(seed=seed).partition(plate_graph, nprocs)
+
+    def run_plate(level: str, faults: FaultPlan | None) -> PlatformResult:
+        config = PlatformConfig(
+            iterations=plate_iterations,
+            integrity=level,
+            checkpoint_period=checkpoint_period if faults is not None else 0,
+        )
+        platform = ICPlatform(
+            plate_graph,
+            make_jacobi_fn(plate_boundary),
+            init_value=plate_init,
+            config=config,
+        )
+        return platform.run(plate_partition, machine=machine, faults=faults)
+
+    for name, run_once, graph, partition, iterations in (
+        ("battlefield-1024hex", run_battlefield, bf_graph, bf_partition,
+         bf_config.iterations),
+        (f"diffusion-plate{plate_dims[0]}x{plate_dims[1]}", run_plate,
+         plate_graph, plate_partition, plate_iterations),
+    ):
+        baseline = run_once("off", None)
+        protection: dict[str, IntegrityRun] = {
+            "off": IntegrityRun(
+                level="off",
+                elapsed=baseline.elapsed,
+                overhead_pct=None,
+                repairs=0,
+                rollbacks=0,
+                values_match_baseline=True,
+            )
+        }
+        for level in ("checksum", "full"):
+            result = run_once(level, None)
+            protection[level] = IntegrityRun(
+                level=level,
+                elapsed=result.elapsed,
+                overhead_pct=(result.elapsed / baseline.elapsed - 1.0) * 100.0,
+                repairs=result.repairs,
+                rollbacks=result.recoveries,
+                values_match_baseline=result.values == baseline.values,
+            )
+
+        gid = _boundary_gid(graph, partition.assignment, flip_rank)
+        flip_iteration = max(2, iterations // 2)
+        plan = FaultPlan.parse(
+            f"seed={seed},flip={flip_rank}@{flip_iteration}:{gid}"
+        )
+        flip: dict[str, IntegrityRun] = {}
+        for level in ("off", "digest", "full"):
+            result = run_once(level, plan)
+            flip[level] = IntegrityRun(
+                level=level,
+                elapsed=result.elapsed,
+                overhead_pct=None,
+                repairs=result.repairs,
+                rollbacks=result.recoveries,
+                values_match_baseline=result.values == baseline.values,
+            )
+        workloads[name] = IntegrityWorkload(
+            name=name,
+            flip_gid=gid,
+            flip_iteration=flip_iteration,
+            protection=protection,
+            flip=flip,
+        )
+
+    return IntegrityComparison(
+        experiment_id=experiment_id,
+        title=(
+            f"Integrity protection: unprotected vs checksum vs "
+            f"checksum+digest+replica ({nprocs} procs)"
+        ),
+        workloads=workloads,
     )
 
 

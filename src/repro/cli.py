@@ -215,6 +215,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         checkpoint_period=args.checkpoint_period,
         checkpoint_keep=args.checkpoint_keep,
         recovery_policy=args.recovery,
+        integrity=args.integrity,
     )
     balancer = _BALANCERS[args.balancer](args.lb_threshold) if args.dynamic else None
     platform = ICPlatform(graph, node_fn, config=config, balancer=balancer)
@@ -247,6 +248,21 @@ def cmd_run(args: argparse.Namespace) -> int:
                 f"reconfigured  iter {event.iteration}: "
                 f"{event.nodes_redistributed} nodes redistributed, "
                 f"detect {event.detection_cost * 1e3:.3f}ms"
+            )
+    if args.integrity != "off":
+        print(f"integrity     {args.integrity}")
+        if result.repairs:
+            print(f"repairs       {result.repairs} (surgical, from shadow replicas)")
+        for event in result.trace.integrity_events():
+            source = (
+                f"replica on rank {event.replica}"
+                if event.mode == "repair"
+                else "checkpoint rollback"
+            )
+            print(
+                f"corruption    iter {event.iteration}: node {event.gid} "
+                f"on rank {event.owner} [{event.mode}] via {source}, "
+                f"latency {event.latency}"
             )
     if args.phases:
         print("phase breakdown (mean per rank):")
@@ -363,7 +379,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--phases", action="store_true", help="print phase breakdown")
     run.add_argument("--faults",
                      help="deterministic fault-injection spec, e.g. "
-                          "'seed=7,delay=0.05,drop=0.01,slow=1:3.0,crash=2@40'")
+                          "'seed=7,delay=0.05,drop=0.01,slow=1:3.0,crash=2@40,"
+                          "flipmsg=0.01,flip=1@5:37'")
+    run.add_argument("--integrity", choices=("off", "checksum", "digest", "full"),
+                     default="off",
+                     help="silent-corruption protection: checksum (verified "
+                          "transport), digest (partition-state digests + "
+                          "rollback), full (digests + shadow-replica repair)")
     run.add_argument("--checkpoint-period", type=int, default=0,
                      help="checkpoint every K iterations (0 = baseline only)")
     run.add_argument("--checkpoint-keep", type=int, default=2,

@@ -15,6 +15,13 @@ from .compute import (
 )
 from .config import PlatformConfig, PlatformCosts
 from .hashtable import DEFAULT_TABLE_LENGTH, NodeHashTable
+from .integrity import (
+    TAG_INTEGRITY,
+    CorruptionClaim,
+    IntegrityDecision,
+    IntegrityGuard,
+    inject_memory_flips,
+)
 from .loadbalance import (
     BusyIdlePair,
     CentralizedHeuristicBalancer,
@@ -42,7 +49,12 @@ from .recovery import (
     shrink_reconfigure,
 )
 from .repartition import measured_node_weights, repartition_phase
-from .trace import ExecutionTrace, IterationRecord, ReconfigurationRecord
+from .trace import (
+    ExecutionTrace,
+    IntegrityRecord,
+    IterationRecord,
+    ReconfigurationRecord,
+)
 
 __all__ = [
     "BUFFER_RECORD_TYPE",
@@ -53,10 +65,14 @@ __all__ = [
     "Checkpointer",
     "CommBuffers",
     "ComputeContext",
+    "CorruptionClaim",
     "DEFAULT_TABLE_LENGTH",
     "DiffusionBalancer",
     "DistributedDirectory",
     "ExecutionTrace",
+    "IntegrityDecision",
+    "IntegrityGuard",
+    "IntegrityRecord",
     "IterationRecord",
     "GreedyPairBalancer",
     "ICPlatform",
@@ -78,12 +94,14 @@ __all__ = [
     "RankOutcome",
     "ReconfigurationRecord",
     "ShrinkOutcome",
+    "TAG_INTEGRITY",
     "TAG_MIGRATE",
     "TAG_RECOVERY",
     "TAG_SHADOW",
     "VertexContext",
     "VertexProgram",
     "build_processor_edges",
+    "inject_memory_flips",
     "measured_node_weights",
     "redistribute_lost_nodes",
     "repartition_phase",

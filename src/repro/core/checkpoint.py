@@ -113,6 +113,25 @@ class Checkpointer:
         self.taken += 1
         return checkpoint
 
+    def discard_since(self, iteration: int) -> int:
+        """Drop every retained snapshot taken at or after ``iteration``.
+
+        Silent-corruption recovery needs this: a memory flip injected at the
+        start of iteration *j* taints every checkpoint taken at the end of
+        *j* or later (the corrupted value fed those sweeps), so rolling back
+        must fall through to an older retained snapshot -- which is why
+        ``keep > 1`` matters when detection can lag injection.
+
+        Returns:
+            The number of snapshots discarded.  :meth:`restore` afterwards
+            uses the newest *surviving* snapshot (and raises
+            :class:`CheckpointError` if none survived).
+        """
+        keep = [s for s in self.snapshots if s.iteration < iteration]
+        dropped = len(self.snapshots) - len(keep)
+        self.snapshots = keep
+        return dropped
+
     def restore(self, store: NodeStore) -> tuple[int, dict[str, Any]]:
         """Rebuild ``store`` from the last checkpoint.
 

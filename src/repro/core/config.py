@@ -132,6 +132,23 @@ class PlatformConfig:
             ``"shrink"`` (survivors drop the dead rank from the
             communicator, adopt its checkpointed partition, and continue on
             ``nprocs - 1`` processors).
+        integrity: Protection against silent data corruption:
+            ``"off"`` (unprotected -- injected flips escape), ``"checksum"``
+            (checksummed transport only: message flips are absorbed by a
+            priced NACK/retransmit path, memory flips still escape),
+            ``"digest"`` (per-superstep partition-state digests detect
+            memory flips; every corruption recovers by checkpoint rollback),
+            or ``"full"`` (checksums + digests + shadow-replica surgical
+            repair: a corrupted *boundary* node is re-fetched point-to-point
+            from the neighbor rank that mirrors it, no rollback needed).
+        integrity_period: Exchange corruption claims collectively every
+            this many iterations (>= 1); digests are still refreshed and
+            diffed locally each iteration.  With 1 a flip is agreed on the
+            superstep it fires and boundary repair is exact; larger values
+            cheapen the exchange at the price of detection latency -- a
+            flip detected late
+            has contaminated downstream state, so recovery falls back to a
+            rollback past the injection point regardless of replicas.
         track_phases: Record per-phase virtual-time breakdowns.
         track_trace: Record a per-iteration :class:`~repro.core.trace.
             ExecutionTrace` (makespans, compute imbalance, migrations).
@@ -152,6 +169,8 @@ class PlatformConfig:
     checkpoint_period: int = 0
     checkpoint_keep: int = 2
     recovery_policy: str = "rollback"
+    integrity: str = "off"
+    integrity_period: int = 1
     track_phases: bool = True
     track_trace: bool = False
     validate_each_iteration: bool = False
@@ -181,6 +200,15 @@ class PlatformConfig:
             raise ValueError(
                 f"recovery_policy must be 'rollback' or 'shrink', "
                 f"got {self.recovery_policy!r}"
+            )
+        if self.integrity not in ("off", "checksum", "digest", "full"):
+            raise ValueError(
+                f"integrity must be 'off', 'checksum', 'digest', or 'full', "
+                f"got {self.integrity!r}"
+            )
+        if self.integrity_period < 1:
+            raise ValueError(
+                f"integrity_period must be >= 1, got {self.integrity_period}"
             )
         if self.rebalance_mode not in ("migrate", "repartition"):
             raise ValueError(

@@ -36,13 +36,19 @@ from .buffers import CommBuffers
 from .checkpoint import Checkpointer
 from .compute import ComputeContext, NodeFn, sweep_basic, sweep_overlapped
 from .config import PlatformConfig
+from .integrity import IntegrityGuard, inject_memory_flips
 from .loadbalance import CentralizedHeuristicBalancer, LoadBalancer
 from .migration import MigrationEvent, load_balance_phase
 from .nodestore import NodeStore
 from .phases import PhaseTimes
 from .recovery import send_dying_checkpoint, shrink_reconfigure
 from .repartition import repartition_phase
-from .trace import ExecutionTrace, IterationRecord, ReconfigurationRecord
+from .trace import (
+    ExecutionTrace,
+    IntegrityRecord,
+    IterationRecord,
+    ReconfigurationRecord,
+)
 
 __all__ = ["ICPlatform", "PlatformResult", "RankOutcome", "run_platform"]
 
@@ -73,6 +79,8 @@ class RankOutcome:
     checkpoints: int = 0
     dead: bool = False
     reconfigurations: list[ReconfigurationRecord] = field(default_factory=list)
+    integrity_records: list[IntegrityRecord] = field(default_factory=list)
+    repairs: int = 0
 
 
 @dataclass
@@ -98,6 +106,9 @@ class PlatformResult:
         checkpoints: Checkpoints each rank took (baseline + periodic).
         dead_ranks: World ranks lost to crash faults under the shrink
             policy (empty under rollback -- the dead are resurrected).
+        repairs: Corrupted nodes healed surgically from shadow replicas
+            (``integrity="full"`` only); corruption events that instead
+            rolled back count under ``recoveries``.
         fault_report: Tally of injected fault activity when the run used a
             :class:`~repro.mpi.faults.FaultPlan`, else ``None``.
     """
@@ -114,6 +125,7 @@ class PlatformResult:
     recoveries: int = 0
     checkpoints: int = 0
     dead_ranks: tuple[int, ...] = ()
+    repairs: int = 0
     fault_report: FaultReport | None = None
 
     @property
@@ -200,6 +212,7 @@ class ICPlatform:
             deadlock_timeout=deadlock_timeout,
             faults=faults,
             sched_jitter=sched_jitter,
+            checksums=self.config.integrity in ("checksum", "full"),
         )
         outcomes: list[RankOutcome] = cluster.run(self._rank_main, partition)
 
@@ -230,8 +243,14 @@ class ICPlatform:
                     for outcome in outcomes
                     for record in outcome.reconfigurations
                 ),
+                (
+                    record
+                    for outcome in outcomes
+                    for record in outcome.integrity_records
+                ),
             ),
             recoveries=reporter.recoveries,
+            repairs=reporter.repairs,
             checkpoints=sum(o.checkpoints for o in outcomes),
             dead_ranks=tuple(sorted(o.rank for o in outcomes if o.dead)),
             fault_report=(
@@ -293,6 +312,25 @@ class ICPlatform:
         )
         reconfigurations: list[ReconfigurationRecord] = []
 
+        # Silent-corruption machinery.  Memory flips fire whenever the plan
+        # schedules them; whether anything *notices* depends on the
+        # configured integrity level (see PlatformConfig.integrity).
+        has_flips = plan is not None and bool(plan.flips)
+        digesting = config.integrity in ("digest", "full")
+        guard = (
+            IntegrityGuard(
+                comm,
+                store,
+                repair=config.integrity == "full",
+                period=config.integrity_period,
+            )
+            if digesting
+            else None
+        )
+        applied_flips: set[tuple[int, int, int | None]] = set()
+        integrity_records: list[IntegrityRecord] = []
+        repairs = 0
+
         def loop_extras() -> dict[str, Any]:
             # Rollback-sensitive loop state that lives outside the store.
             return {
@@ -302,13 +340,20 @@ class ICPlatform:
                 "node_compute": dict(ctx.node_compute),
             }
 
-        if has_crashes or checkpointer.period:
+        if has_crashes or (digesting and has_flips) or checkpointer.period:
             # Post-initialization baseline: guarantees a recovery point even
-            # before the first periodic checkpoint is due.
+            # before the first periodic checkpoint is due.  Digest-detected
+            # corruption may need it too: rollback is the fallback whenever
+            # surgical repair is impossible.
             t_ck = comm.Wtime()
             checkpointer.take(0, store, **loop_extras())
             comm.work(config.costs.checkpoint_item_cost * len(store.data_records))
             phases.recovery += comm.Wtime() - t_ck
+
+        if guard is not None:
+            t_ig = comm.Wtime()
+            guard.refresh()
+            phases.recovery += comm.Wtime() - t_ig
 
         iteration = 1
         while iteration <= config.iterations:
@@ -355,6 +400,8 @@ class ICPlatform:
                             checkpoints=checkpointer.taken,
                             dead=True,
                             reconfigurations=reconfigurations,
+                            integrity_records=integrity_records,
+                            repairs=repairs,
                         )
                     t_rec = comm.Wtime()
                     comm.work(detected.detection_cost)
@@ -370,6 +417,8 @@ class ICPlatform:
                     migrations[:] = extras["migrations"]
                     repartitions = extras["repartitions"]
                     ctx.node_compute = dict(extras["node_compute"])
+                    if guard is not None:
+                        guard.rebind(comm, store)
                     recovery_elapsed = comm.Wtime() - t_rec
                     phases.recovery += recovery_elapsed
                     reconfigurations.append(
@@ -418,6 +467,8 @@ class ICPlatform:
                     migrations[:] = extras["migrations"]
                     repartitions = extras["repartitions"]
                     ctx.node_compute = dict(extras["node_compute"])
+                    if guard is not None:
+                        guard.reset_after_restore()
                     comm.barrier()
                     recovery_elapsed = comm.Wtime() - t_rec
                     phases.recovery += recovery_elapsed
@@ -439,6 +490,77 @@ class ICPlatform:
                     attempt += 1
                     iteration = saved_iteration + 1
                     continue
+
+            # ---- Silent corruption: inject, detect, repair/rollback ----
+            if has_flips and fault_state is not None:
+                # The flip itself is free (it is the *fault*); only the
+                # protection machinery below costs virtual time.
+                inject_memory_flips(
+                    store, fault_state, world_rank, iteration, applied_flips
+                )
+            if guard is not None:
+                t_ig = comm.Wtime()
+                decision = guard.check(iteration)
+                if decision is None:
+                    phases.recovery += comm.Wtime() - t_ig
+                elif decision.repair:
+                    guard.repair_from_replicas(decision, fault_state)
+                    event_cost = comm.Wtime() - t_ig
+                    phases.recovery += event_cost
+                    repairs += len(decision.claims)
+                    for claim in decision.claims:
+                        integrity_records.append(
+                            IntegrityRecord(
+                                rank=world_rank,
+                                iteration=iteration,
+                                gid=claim.gid,
+                                owner=comm.world_rank_of(claim.owner),
+                                flip_iteration=claim.flip_iteration,
+                                latency=iteration - claim.flip_iteration,
+                                mode="repair",
+                                replica=comm.world_rank_of(min(claim.holders)),
+                                cost=event_cost,
+                                resumed_iteration=iteration,
+                            )
+                        )
+                    # Fall through: the iteration proceeds on healed state.
+                else:
+                    # Interior node or late detection: checkpoints taken at
+                    # or after the injection are contaminated, so discard
+                    # them and roll back to the newest clean snapshot.
+                    checkpointer.discard_since(decision.min_flip_iteration)
+                    saved_iteration, extras = checkpointer.restore(store)
+                    comm.work(
+                        config.costs.restore_item_cost * len(store.data_records)
+                    )
+                    window_exec_time = extras["window_exec_time"]
+                    migrations[:] = extras["migrations"]
+                    repartitions = extras["repartitions"]
+                    ctx.node_compute = dict(extras["node_compute"])
+                    guard.reset_after_restore()
+                    comm.barrier()
+                    event_cost = comm.Wtime() - t_ig
+                    phases.recovery += event_cost
+                    for claim in decision.claims:
+                        integrity_records.append(
+                            IntegrityRecord(
+                                rank=world_rank,
+                                iteration=iteration,
+                                gid=claim.gid,
+                                owner=comm.world_rank_of(claim.owner),
+                                flip_iteration=claim.flip_iteration,
+                                latency=iteration - claim.flip_iteration,
+                                mode="rollback",
+                                replica=None,
+                                cost=event_cost,
+                                resumed_iteration=saved_iteration + 1,
+                            )
+                        )
+                    recoveries += 1
+                    attempt += 1
+                    iteration = saved_iteration + 1
+                    continue
+
             ctx.iteration = iteration
             iter_clock_start = comm.Wtime()
             iter_compute0 = ctx.compute_time
@@ -522,6 +644,13 @@ class ICPlatform:
                 )
                 phases.recovery += comm.Wtime() - t_ck
 
+            if guard is not None:
+                # Reference digests of the just-committed values: next
+                # iteration's check diffs against these.
+                t_ig = comm.Wtime()
+                guard.refresh()
+                phases.recovery += comm.Wtime() - t_ig
+
             iteration += 1
 
         comm.barrier()
@@ -538,6 +667,8 @@ class ICPlatform:
             recoveries=recoveries,
             checkpoints=checkpointer.taken,
             reconfigurations=reconfigurations,
+            integrity_records=integrity_records,
+            repairs=repairs,
         )
 
 def run_platform(

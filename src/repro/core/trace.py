@@ -17,7 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
-__all__ = ["IterationRecord", "ReconfigurationRecord", "ExecutionTrace"]
+__all__ = [
+    "IterationRecord",
+    "ReconfigurationRecord",
+    "IntegrityRecord",
+    "ExecutionTrace",
+]
 
 
 @dataclass(frozen=True)
@@ -92,6 +97,48 @@ class ReconfigurationRecord:
     resumed_iteration: int
 
 
+@dataclass(frozen=True)
+class IntegrityRecord:
+    """One silent-corruption recovery event as one rank saw it.
+
+    Like :class:`ReconfigurationRecord`, every rank records the same logical
+    content (the claim exchange is collective), so only ``rank`` differs
+    across the copies; :meth:`ExecutionTrace.integrity_events` collapses
+    them back to the per-event view.
+
+    Attributes:
+        rank: The *world* rank that recorded this copy.
+        iteration: 1-based iteration at whose start the corruption was
+            confirmed by the digest exchange.
+        gid: Global id of the corrupted node.
+        owner: World rank that owned the corrupted node.
+        flip_iteration: Iteration at whose start the flip was injected.
+        latency: Supersteps between injection and the collective decision
+            (``iteration - flip_iteration``); 0 means the corruption was
+            caught before any sweep consumed it.
+        mode: ``"repair"`` (surgical replica re-fetch, no rollback) or
+            ``"rollback"`` (checkpoint restore past the injection).
+        replica: World rank whose shadow copy supplied the repair value
+            (None for rollbacks).
+        cost: Virtual seconds this rank charged to the detection + recovery
+            (digest re-check, claim exchange, and the repair fetch or the
+            checkpoint restore).
+        resumed_iteration: First iteration (re-)executed after recovery --
+            equals ``iteration`` for repairs (no work is redone).
+    """
+
+    rank: int
+    iteration: int
+    gid: int
+    owner: int
+    flip_iteration: int
+    latency: int
+    mode: str
+    replica: int | None
+    cost: float
+    resumed_iteration: int
+
+
 class ExecutionTrace:
     """All ranks' iteration records for one platform run."""
 
@@ -99,9 +146,11 @@ class ExecutionTrace:
         self,
         records: Iterable[IterationRecord] = (),
         reconfigurations: Iterable[ReconfigurationRecord] = (),
+        integrity: Iterable[IntegrityRecord] = (),
     ) -> None:
         self._records: list[IterationRecord] = list(records)
         self._reconfigurations: list[ReconfigurationRecord] = list(reconfigurations)
+        self._integrity: list[IntegrityRecord] = list(integrity)
 
     def add(self, record: IterationRecord) -> None:
         """Append one record."""
@@ -139,6 +188,26 @@ class ExecutionTrace:
         seen: dict[tuple[int, tuple[int, ...]], ReconfigurationRecord] = {}
         for r in self.reconfigurations:
             seen.setdefault((r.iteration, r.dead_ranks), r)
+        return [seen[key] for key in sorted(seen)]
+
+    @property
+    def integrity(self) -> tuple[IntegrityRecord, ...]:
+        """All silent-corruption events, in (iteration, gid, rank) order."""
+        return tuple(
+            sorted(self._integrity, key=lambda r: (r.iteration, r.gid, r.rank))
+        )
+
+    def add_integrity(self, record: IntegrityRecord) -> None:
+        """Append one silent-corruption event record."""
+        self._integrity.append(record)
+
+    def integrity_events(self) -> list[IntegrityRecord]:
+        """One representative record per corruption event (lowest rank's
+        copy), collapsing the identical per-rank copies of each collective
+        decision."""
+        seen: dict[tuple[int, int, str], IntegrityRecord] = {}
+        for r in self.integrity:
+            seen.setdefault((r.iteration, r.gid, r.mode), r)
         return [seen[key] for key in sorted(seen)]
 
     # ------------------------------------------------------------------ #
@@ -265,5 +334,18 @@ class ExecutionTrace:
                 f"{event.nodes_redistributed} nodes redistributed, "
                 f"detect {event.detection_cost * 1e3:.3f}ms + "
                 f"reconfigure {event.reconfiguration_cost * 1e3:.3f}ms"
+            )
+        for event in self.integrity_events():
+            source = (
+                f"replica on rank {event.replica}"
+                if event.mode == "repair"
+                else f"rollback to iter {event.resumed_iteration - 1}"
+            )
+            lines.append(
+                f"integrity @ iter {event.iteration} [{event.mode}]: "
+                f"node {event.gid} on rank {event.owner} "
+                f"(flipped @ iter {event.flip_iteration}, "
+                f"latency {event.latency}), {source}, "
+                f"cost {event.cost * 1e3:.3f}ms"
             )
         return "\n".join(lines)

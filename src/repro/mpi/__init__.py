@@ -44,8 +44,12 @@ from .faults import (
     FaultPlan,
     FaultReport,
     FaultState,
+    MemoryFlipEvent,
+    MessageFlipSpec,
     RetryPolicy,
     SlowWindow,
+    corrupt_value,
+    state_digest,
 )
 from .message import Message, RecvRequest, Request, SendRequest, Status
 from .runtime import RankState, SimCluster, run_mpi
@@ -81,7 +85,9 @@ __all__ = [
     "InvalidRankError",
     "InvalidTagError",
     "MachineModel",
+    "MemoryFlipEvent",
     "Message",
+    "MessageFlipSpec",
     "MessageLostError",
     "MPIError",
     "ORIGIN2000",
@@ -97,6 +103,8 @@ __all__ = [
     "StructType",
     "TopologyMachineModel",
     "TruncationError",
+    "corrupt_value",
     "estimate_nbytes",
     "run_mpi",
+    "state_digest",
 ]

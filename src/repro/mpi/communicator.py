@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Sequence
 
 from .errors import InvalidRankError, InvalidTagError, MessageLostError, ShrinkError
+from .faults import corrupt_value
 from .message import ANY_SOURCE, ANY_TAG, Message, RecvRequest, Request, SendRequest, Status
 from .timing import estimate_nbytes
 
@@ -164,8 +165,14 @@ class Communicator:
         state = self._state()
         machine = self._cluster.machine
         faults = getattr(self._cluster, "fault_state", None)
+        checksums = getattr(self._cluster, "checksums", False)
         self._charge_cpu(machine.sender_cpu(size))
+        if checksums:
+            # Checksummed transport: the sender pays to checksum every
+            # payload, fault plan or not -- that is the protection overhead.
+            self._charge_cpu(machine.checksum_time(size))
         extra_flight = 0.0
+        corrupt_attempts = 0
         if faults is not None and faults.plan.perturbs_messages:
             faults.count_message(self._world_rank)
             if faults.plan.drop is not None:
@@ -188,6 +195,27 @@ class Communicator:
                     faults.count_retry(self._world_rank)
                     attempt += 1
             extra_flight = faults.next_delay(self._world_rank)
+            if faults.plan.flip_msg is not None:
+                # Silent-corruption draws happen on the *sending* rank in
+                # program order (like drops), so outcomes are independent of
+                # the host schedule.  On a checksummed link each corrupted
+                # attempt is NACKed and retransmitted (the decision redraws
+                # per attempt); unprotected, the flipped payload is simply
+                # delivered.
+                if checksums:
+                    retry = faults.plan.retry
+                    while corrupt_attempts < retry.max_attempts and faults.next_corrupt(
+                        self._world_rank
+                    ):
+                        corrupt_attempts += 1
+                    if corrupt_attempts >= retry.max_attempts:
+                        faults.count_lost(self._world_rank)
+                        raise MessageLostError(
+                            f"message to rank {dest} (tag {tag}) corrupted on "
+                            f"all {corrupt_attempts} transmission attempts"
+                        )
+                elif faults.next_corrupt(self._world_rank):
+                    obj = corrupt_value(obj, faults.corrupt_token(self._world_rank))
         # src is the communicator-local rank (what the receiver matches on);
         # dest is the world rank (which mailbox to drop the message into).
         msg = Message(
@@ -203,6 +231,7 @@ class Communicator:
                 size, self._group[self._rank], self._group[dest]
             )
             + extra_flight,
+            corrupt_attempts=corrupt_attempts,
         )
         self._cluster.deliver(msg)
         return SendRequest(msg)
@@ -243,6 +272,17 @@ class Communicator:
         state = self._state()
         machine = self._cluster.machine
         state.clock = max(state.clock, msg.arrival_time)
+        if getattr(self._cluster, "checksums", False):
+            # Verify-and-retransmit: each corrupted attempt costs a failed
+            # verify, a NACK round trip, and the full resend (all waited out
+            # on the receiver's clock -- sends are eager, so the sender has
+            # long moved on); then one clean verify accepts the payload.
+            faults = getattr(self._cluster, "fault_state", None)
+            for _ in range(msg.corrupt_attempts):
+                state.clock += machine.retransmit_penalty(msg.nbytes)
+                if faults is not None:
+                    faults.count_retransmit(self._world_rank)
+            self._charge_cpu(machine.checksum_time(msg.nbytes))
         self._charge_cpu(machine.receiver_cpu(msg.nbytes))
         if status is not None:
             status.update_from(msg)

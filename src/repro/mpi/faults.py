@@ -23,7 +23,14 @@ Four fault families are supported:
 * **rank crashes** (:class:`CrashEvent`) -- a rank dies at the start of a
   chosen iteration/superstep; the platform's checkpoint/restart layer
   (:mod:`repro.core.checkpoint`) rolls every rank back to the last
-  checkpoint and re-runs, charging the recovery to the virtual clocks.
+  checkpoint and re-runs, charging the recovery to the virtual clocks;
+* **silent data corruption** (:class:`MessageFlipSpec`,
+  :class:`MemoryFlipEvent`) -- transient bit-flip faults.  A message flip
+  corrupts a transmission attempt's payload in flight (absorbed by the
+  transport's checksum/NACK/retransmit path when checksums are enabled,
+  silently delivered otherwise); a memory flip corrupts one committed node
+  value on a chosen rank at the start of a chosen iteration (detected and
+  repaired by the platform's integrity layer, :mod:`repro.core.integrity`).
 
 Randomized decisions (drop, delay) are drawn from *per-rank* PRNG streams
 seeded from ``(plan seed, rank)``.  Each rank draws in its own program
@@ -40,8 +47,11 @@ See :meth:`FaultPlan.parse` for the clause grammar.
 
 from __future__ import annotations
 
+import pickle
 import random
-from dataclasses import dataclass, field, replace
+import struct
+import zlib
+from dataclasses import dataclass, field, fields, is_dataclass, replace
 from typing import Any
 
 __all__ = [
@@ -50,10 +60,77 @@ __all__ = [
     "RetryPolicy",
     "SlowWindow",
     "CrashEvent",
+    "MessageFlipSpec",
+    "MemoryFlipEvent",
     "FaultPlan",
     "FaultState",
     "FaultReport",
+    "corrupt_value",
+    "state_digest",
 ]
+
+
+def state_digest(value: Any) -> int:
+    """Deterministic digest of a committed value (CRC-32 over its pickle).
+
+    Used both by the checksummed transport model and by the platform's
+    per-superstep partition digests: any single corrupt_value() flip changes
+    the digest, so a digest mismatch is a reliable corruption detector.
+    """
+    try:
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        blob = repr(value).encode("utf-8", errors="replace")
+    return zlib.crc32(blob)
+
+
+def corrupt_value(value: Any, token: int = 0) -> Any:
+    """Deterministically bit-flip a value (the silent-corruption model).
+
+    ``token`` selects which bit/element flips, so successive corruptions of
+    the same value differ while staying reproducible.  Floats flip one
+    mantissa bit (finite stays finite), ints flip one low bit, containers
+    and dataclasses corrupt one element recursively; anything unrecognized
+    is wrapped in a sentinel tuple so the result always differs from the
+    original.
+    """
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value ^ (1 << (token % 32))
+    if isinstance(value, float):
+        bits = struct.unpack("<Q", struct.pack("<d", value))[0]
+        bits ^= 1 << (token % 52)  # mantissa-only: finite stays finite
+        return struct.unpack("<d", struct.pack("<Q", bits))[0]
+    if isinstance(value, str):
+        if not value:
+            return "\x00"
+        i = token % len(value)
+        return value[:i] + chr(ord(value[i]) ^ 1) + value[i + 1 :]
+    if isinstance(value, bytes | bytearray):
+        if not value:
+            return b"\x00"
+        out = bytearray(value)
+        out[token % len(out)] ^= 1
+        return bytes(out) if isinstance(value, bytes) else out
+    if isinstance(value, tuple | list) and value:
+        i = token % len(value)
+        items = list(value)
+        items[i] = corrupt_value(items[i], token)
+        return type(value)(items)
+    if isinstance(value, dict) and value:
+        key = list(value)[token % len(value)]
+        out = dict(value)
+        out[key] = corrupt_value(out[key], token)
+        return out
+    if is_dataclass(value) and not isinstance(value, type):
+        names = [f.name for f in fields(value)]
+        if names:
+            name = names[token % len(names)]
+            return replace(
+                value, **{name: corrupt_value(getattr(value, name), token)}
+            )
+    return ("__bitflip__", token, value)
 
 
 @dataclass(frozen=True)
@@ -186,6 +263,57 @@ class CrashEvent:
 
 
 @dataclass(frozen=True)
+class MessageFlipSpec:
+    """Random in-flight message-payload corruption (silent data corruption).
+
+    With probability ``prob`` a *transmission attempt*'s payload is flipped.
+    On a checksummed transport (``SimCluster(checksums=True)``) the receiver
+    detects the mismatch, NACKs, and the attempt is retransmitted (redrawing
+    the flip decision) -- corruption costs virtual time but never escapes.
+    On an unprotected transport the corrupted payload is silently delivered.
+
+    Attributes:
+        prob: Per-transmission-attempt probability of the payload flipping.
+    """
+
+    prob: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"flipmsg prob must be in [0, 1], got {self.prob}")
+
+
+@dataclass(frozen=True)
+class MemoryFlipEvent:
+    """One in-memory node-state corruption at a chosen rank/iteration.
+
+    At the start of iteration ``iteration`` the owning rank's *committed*
+    value of one node is flipped, bypassing the normal commit path -- a
+    model of an undetected DRAM/SEU upset between supersteps.  Only the
+    owner applies the flip; detection is the integrity layer's job (digest
+    mismatch), never a read of the plan by other ranks.
+
+    Attributes:
+        rank: The affected world rank.
+        iteration: 1-based platform iteration at whose start the bit flips.
+        node: 1-based global node id to corrupt, or ``None`` to corrupt the
+            rank's lowest-numbered owned node (deterministic either way).
+    """
+
+    rank: int
+    iteration: int
+    node: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.iteration < 1:
+            raise ValueError(f"iteration must be >= 1, got {self.iteration}")
+        if self.node is not None and self.node < 1:
+            raise ValueError(f"node id must be >= 1, got {self.node}")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete, seeded description of every fault in a run.
 
@@ -197,6 +325,8 @@ class FaultPlan:
         retry: Reliable-delivery policy used when ``drop`` is set.
         slow: Transient slow-rank windows.
         crashes: Scheduled whole-rank crashes.
+        flip_msg: Message-payload corruption fault, or None.
+        flips: Scheduled in-memory node-state corruptions.
     """
 
     seed: int = 0
@@ -205,6 +335,8 @@ class FaultPlan:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     slow: tuple[SlowWindow, ...] = ()
     crashes: tuple[CrashEvent, ...] = ()
+    flip_msg: MessageFlipSpec | None = None
+    flips: tuple[MemoryFlipEvent, ...] = ()
 
     def __post_init__(self) -> None:
         # Normalize lists passed by hand.
@@ -212,6 +344,8 @@ class FaultPlan:
             object.__setattr__(self, "slow", tuple(self.slow))
         if not isinstance(self.crashes, tuple):
             object.__setattr__(self, "crashes", tuple(self.crashes))
+        if not isinstance(self.flips, tuple):
+            object.__setattr__(self, "flips", tuple(self.flips))
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -220,6 +354,16 @@ class FaultPlan:
     def crashes_at(self, iteration: int) -> tuple[CrashEvent, ...]:
         """Crash events scheduled for the given 1-based iteration."""
         return tuple(e for e in self.crashes if e.iteration == iteration)
+
+    def flips_at(self, iteration: int, rank: int | None = None) -> tuple[
+        MemoryFlipEvent, ...
+    ]:
+        """Memory-flip events for the given iteration (optionally one rank)."""
+        return tuple(
+            e
+            for e in self.flips
+            if e.iteration == iteration and (rank is None or e.rank == rank)
+        )
 
     def validate_ranks(self, nprocs: int) -> None:
         """Reject rank-targeted faults aimed at ranks that do not exist.
@@ -238,6 +382,11 @@ class FaultPlan:
                 raise ValueError(
                     f"slow rank {w.rank} out of range for {nprocs} ranks"
                 )
+        for e in self.flips:
+            if not 0 <= e.rank < nprocs:
+                raise ValueError(
+                    f"flip rank {e.rank} out of range for {nprocs} ranks"
+                )
 
     def compute_scale(self, rank: int, clock: float) -> float:
         """CPU-charge multiplier for ``rank`` at virtual time ``clock``."""
@@ -249,8 +398,12 @@ class FaultPlan:
 
     @property
     def perturbs_messages(self) -> bool:
-        """Whether any per-message fault (delay/drop) is configured."""
-        return self.delay is not None or self.drop is not None
+        """Whether any per-message fault (delay/drop/flip) is configured."""
+        return (
+            self.delay is not None
+            or self.drop is not None
+            or self.flip_msg is not None
+        )
 
     def with_overrides(self, **kwargs: Any) -> "FaultPlan":
         """Copy with selected fields replaced."""
@@ -269,9 +422,12 @@ class FaultPlan:
         * ``seed=N``
         * ``delay=PROB[:EXTRA]`` -- extra flight seconds (default 1 ms)
         * ``drop=PROB``
-        * ``retry=MAX[:TIMEOUT[:BACKOFF]]``
+        * ``retry=MAX[:TIMEOUT[:BACKOFF]]`` -- ``TIMEOUT`` may be the word
+          ``none`` for the machine model's adaptive ack timeout
         * ``slow=RANK:FACTOR[:START[:END]]`` -- virtual-second window
         * ``crash=RANK@ITERATION`` (repeatable)
+        * ``flipmsg=PROB`` -- per-attempt message-payload corruption
+        * ``flip=RANK@ITERATION[:NODE]`` -- memory corruption (repeatable)
 
         Raises:
             ValueError: On an unknown clause or malformed value.
@@ -282,6 +438,8 @@ class FaultPlan:
         retry = RetryPolicy()
         slow: list[SlowWindow] = []
         crashes: list[CrashEvent] = []
+        flip_msg: MessageFlipSpec | None = None
+        flips: list[MemoryFlipEvent] = []
         for raw in spec.replace(";", ",").split(","):
             clause = raw.strip()
             if not clause:
@@ -304,9 +462,12 @@ class FaultPlan:
                     drop = DropSpec(prob=float(value))
                 elif key == "retry":
                     parts = value.split(":")
+                    timeout: float | None = None
+                    if len(parts) > 1 and parts[1].lower() != "none":
+                        timeout = float(parts[1])
                     retry = RetryPolicy(
                         max_attempts=int(parts[0]),
-                        timeout=float(parts[1]) if len(parts) > 1 else None,
+                        timeout=timeout,
                         backoff=float(parts[2]) if len(parts) > 2 else 2.0,
                     )
                 elif key == "slow":
@@ -328,6 +489,20 @@ class FaultPlan:
                     crashes.append(
                         CrashEvent(rank=int(rank_s), iteration=int(iter_s))
                     )
+                elif key == "flipmsg":
+                    flip_msg = MessageFlipSpec(prob=float(value))
+                elif key == "flip":
+                    rank_s, sep2, rest = value.partition("@")
+                    if not sep2:
+                        raise ValueError("flip needs RANK@ITERATION[:NODE]")
+                    iter_s, sep3, node_s = rest.partition(":")
+                    flips.append(
+                        MemoryFlipEvent(
+                            rank=int(rank_s),
+                            iteration=int(iter_s),
+                            node=int(node_s) if sep3 else None,
+                        )
+                    )
                 else:
                     raise ValueError(f"unknown fault clause key {key!r}")
             except (IndexError, ValueError) as exc:
@@ -339,7 +514,42 @@ class FaultPlan:
             retry=retry,
             slow=tuple(slow),
             crashes=tuple(crashes),
+            flip_msg=flip_msg,
+            flips=tuple(flips),
         )
+
+    def to_spec(self) -> str:
+        """Render the plan as a canonical spec string.
+
+        The inverse of :meth:`parse`: for every plan,
+        ``FaultPlan.parse(plan.to_spec()) == plan``.  Float values are
+        rendered with :func:`repr`, which round-trips exactly.
+        """
+        parts = [f"seed={self.seed}"]
+        if self.delay is not None:
+            parts.append(f"delay={self.delay.prob!r}:{self.delay.extra!r}")
+        if self.drop is not None:
+            parts.append(f"drop={self.drop.prob!r}")
+        if self.retry != RetryPolicy():
+            timeout = "none" if self.retry.timeout is None else repr(self.retry.timeout)
+            parts.append(
+                f"retry={self.retry.max_attempts}:{timeout}:{self.retry.backoff!r}"
+            )
+        for w in self.slow:
+            clause = f"slow={w.rank}:{w.factor!r}:{w.start!r}"
+            if w.end is not None:
+                clause += f":{w.end!r}"
+            parts.append(clause)
+        for c in self.crashes:
+            parts.append(f"crash={c.rank}@{c.iteration}")
+        if self.flip_msg is not None:
+            parts.append(f"flipmsg={self.flip_msg.prob!r}")
+        for e in self.flips:
+            clause = f"flip={e.rank}@{e.iteration}"
+            if e.node is not None:
+                clause += f":{e.node}"
+            parts.append(clause)
+        return ",".join(parts)
 
     def describe(self) -> str:
         """One-line human-readable summary of the plan."""
@@ -355,6 +565,11 @@ class FaultPlan:
             parts.append(f"rank {w.rank} slow x{w.factor:g} from t={w.start:g}s{window}")
         for c in self.crashes:
             parts.append(f"rank {c.rank} crashes at iteration {c.iteration}")
+        if self.flip_msg is not None:
+            parts.append(f"message flips {self.flip_msg.prob:.0%}")
+        for e in self.flips:
+            node = "lowest owned node" if e.node is None else f"node {e.node}"
+            parts.append(f"rank {e.rank} flips {node} at iteration {e.iteration}")
         return ", ".join(parts)
 
 
@@ -369,6 +584,11 @@ class FaultReport:
         retries: Resends performed by the reliable-delivery layer.
         lost: Messages abandoned after exhausting the retry budget.
         crashes: Crash events consumed by the recovery layer.
+        corrupted: Transmission attempts whose payload was flipped.
+        retransmits: Resends triggered by a checksum NACK (counted on the
+            receiving side, where the verify-and-retransmit path runs).
+        flips: In-memory node-state corruptions applied.
+        repairs: Corrupted nodes surgically repaired from a replica.
     """
 
     messages: int = 0
@@ -377,20 +597,42 @@ class FaultReport:
     retries: int = 0
     lost: int = 0
     crashes: int = 0
+    corrupted: int = 0
+    retransmits: int = 0
+    flips: int = 0
+    repairs: int = 0
 
     def summary(self) -> str:
         """Human-readable one-liner for CLI output."""
-        return (
+        line = (
             f"{self.messages} messages: {self.delayed} delayed, "
             f"{self.dropped} attempts dropped ({self.retries} retries, "
             f"{self.lost} lost), {self.crashes} crashes"
         )
+        if self.corrupted or self.retransmits or self.flips or self.repairs:
+            line += (
+                f"; integrity: {self.corrupted} attempts corrupted "
+                f"({self.retransmits} retransmits), {self.flips} memory flips "
+                f"({self.repairs} repaired from replicas)"
+            )
+        return line
 
 
 class _RankCounters:
     """Per-rank fault counters (owned by that rank's thread; no locking)."""
 
-    __slots__ = ("messages", "delayed", "dropped", "retries", "lost", "crashes")
+    __slots__ = (
+        "messages",
+        "delayed",
+        "dropped",
+        "retries",
+        "lost",
+        "crashes",
+        "corrupted",
+        "retransmits",
+        "flips",
+        "repairs",
+    )
 
     def __init__(self) -> None:
         self.messages = 0
@@ -399,6 +641,10 @@ class _RankCounters:
         self.retries = 0
         self.lost = 0
         self.crashes = 0
+        self.corrupted = 0
+        self.retransmits = 0
+        self.flips = 0
+        self.repairs = 0
 
 
 class FaultState:
@@ -447,9 +693,37 @@ class FaultState:
             return delay.extra
         return 0.0
 
+    def next_corrupt(self, rank: int) -> bool:
+        """Draw the payload-flip decision for ``rank``'s next transmission
+        attempt (drawn on the *sending* rank in program order, like drops)."""
+        flip = self.plan.flip_msg
+        if flip is None or flip.prob == 0.0:
+            return False
+        fired = self._rngs[rank].random() < flip.prob
+        if fired:
+            self._counters[rank].corrupted += 1
+        return fired
+
+    def corrupt_token(self, rank: int) -> int:
+        """Deterministic bit-selection token for ``rank``'s latest flip
+        (the per-rank corruption counter, which advances in program order)."""
+        return self._counters[rank].corrupted
+
     def count_retry(self, rank: int) -> None:
         """Record one resend by ``rank``."""
         self._counters[rank].retries += 1
+
+    def count_retransmit(self, rank: int) -> None:
+        """Record one checksum-NACK retransmission absorbed by ``rank``."""
+        self._counters[rank].retransmits += 1
+
+    def count_flip(self, rank: int) -> None:
+        """Record one memory corruption applied on ``rank``."""
+        self._counters[rank].flips += 1
+
+    def count_repair(self, rank: int) -> None:
+        """Record one replica repair of a node owned by ``rank``."""
+        self._counters[rank].repairs += 1
 
     def count_lost(self, rank: int) -> None:
         """Record one message abandoned by ``rank``."""
@@ -477,4 +751,8 @@ class FaultState:
             out.retries += c.retries
             out.lost += c.lost
             out.crashes += c.crashes
+            out.corrupted += c.corrupted
+            out.retransmits += c.retransmits
+            out.flips += c.flips
+            out.repairs += c.repairs
         return out

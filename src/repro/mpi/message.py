@@ -37,6 +37,11 @@ class Message:
             destination (``send_time + transfer_time``).
         seq: Global injection sequence number; used only as a deterministic
             tie-break for ``ANY_SOURCE`` matching.
+        corrupt_attempts: On a checksummed transport, how many consecutive
+            transmission attempts of this message were corrupted in flight
+            (each one costs the receiver a verify + NACK + retransmit round
+            before the clean copy is accepted).  The payload itself stays
+            clean -- corruption never escapes a checksummed link.
     """
 
     src: int
@@ -48,6 +53,7 @@ class Message:
     send_time: float
     arrival_time: float
     seq: int = field(default_factory=lambda: next(_seq))
+    corrupt_attempts: int = 0
 
     def matches(self, source: int, tag: int, comm_id: int) -> bool:
         """Whether this message satisfies a receive posted with the triple."""

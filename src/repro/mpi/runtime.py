@@ -81,6 +81,11 @@ class SimCluster:
             barrier.  The schedule-fuzzing determinism suite injects small
             real-time sleeps here to perturb host-thread interleavings
             without touching virtual time.
+        checksums: Arm the checksummed transport: every message pays a
+            sender-side checksum and receiver-side verify (virtual time),
+            and payload corruption injected by a
+            :class:`~repro.mpi.faults.MessageFlipSpec` is absorbed by a
+            priced NACK + retransmit path instead of escaping silently.
     """
 
     def __init__(
@@ -90,6 +95,7 @@ class SimCluster:
         deadlock_timeout: float = 10.0,
         faults: FaultPlan | None = None,
         sched_jitter: Callable[[], None] | None = None,
+        checksums: bool = False,
     ) -> None:
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
@@ -97,6 +103,7 @@ class SimCluster:
         self.machine = machine
         self.deadlock_timeout = deadlock_timeout
         self.faults = faults
+        self.checksums = checksums
         self.fault_state: FaultState | None = (
             FaultState(faults, nprocs) if faults is not None else None
         )
@@ -108,6 +115,10 @@ class SimCluster:
         self._progress = 0  # bumped on every event that could unblock a waiter
         self._aborted = False
         self._abort_reason: str | None = None
+        # (comm_id, local src) pairs condemned by quarantine(): a dead rank's
+        # host thread may still be running when survivors shrink, so its late
+        # sends must be filtered at delivery time, not just purged once.
+        self._quarantined: set[tuple[Any, int]] = set()
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -154,6 +165,11 @@ class SimCluster:
         self._progress = 0
         self._aborted = False
         self._abort_reason = None
+        # Quarantine filters installed by a previous shrink recovery would
+        # silently swallow a reused channel id's traffic; a fresh run starts
+        # with every rank trusted again (the failure detector re-derives dead
+        # ranks from the new fault state below).
+        self._quarantined.clear()
         if self.faults is not None:
             self.fault_state = FaultState(self.faults, self.nprocs)
 
@@ -235,6 +251,8 @@ class SimCluster:
             Number of messages discarded.
         """
         with self._cond:
+            for src in dead_srcs:
+                self._quarantined.add((comm_id, src))
             mailbox = self._ranks[rank].mailbox
             keep = [
                 m for m in mailbox if not (m.comm_id == comm_id and m.src in dead_srcs)
@@ -256,10 +274,17 @@ class SimCluster:
             self._sched_jitter()
 
     def deliver(self, msg: Message) -> None:
-        """Place ``msg`` into the destination mailbox and wake waiters."""
+        """Place ``msg`` into the destination mailbox and wake waiters.
+
+        Messages from quarantined (comm, source) pairs are dropped on the
+        floor: a condemned rank's thread can still execute sends after the
+        survivors shrank, and those stragglers must never reach a mailbox.
+        """
         self._jitter()
         with self._cond:
             self._check_abort()
+            if (msg.comm_id, msg.src) in self._quarantined:
+                return
             self._ranks[msg.dest].mailbox.append(msg)
             self._progress += 1
             self._cond.notify_all()
@@ -420,6 +445,7 @@ def run_mpi(
     per_rank_args: Sequence[tuple[Any, ...]] | None = None,
     faults: FaultPlan | None = None,
     sched_jitter: Callable[[], None] | None = None,
+    checksums: bool = False,
 ) -> list[Any]:
     """One-shot convenience wrapper: build a cluster, run ``fn``, return results."""
     cluster = SimCluster(
@@ -428,5 +454,6 @@ def run_mpi(
         deadlock_timeout=deadlock_timeout,
         faults=faults,
         sched_jitter=sched_jitter,
+        checksums=checksums,
     )
     return cluster.run(fn, *args, per_rank_args=per_rank_args)

@@ -101,6 +101,15 @@ class MachineModel:
         heartbeat_miss: Consecutive missed heartbeats before a rank is
             suspected dead (the detector's timeout is
             ``heartbeat_interval * heartbeat_miss``).
+        checksum_overhead: Fixed CPU cost of computing or verifying one
+            message checksum (the integrity layer's transport tier).
+        checksum_byte_cpu: Per-payload-byte CPU cost of checksumming
+            (CRC-class throughput, slower than a plain copy).
+        digest_overhead: Fixed CPU cost of digesting one node's committed
+            state for the per-superstep partition digest.
+        digest_byte_cpu: Per-byte CPU cost of the state digest.
+        repair_overhead: Fixed bookkeeping cost of splicing a replica's
+            value over a corrupted node (on top of the priced fetch).
     """
 
     name: str = "generic"
@@ -112,6 +121,11 @@ class MachineModel:
     barrier_latency: float = 15e-6
     heartbeat_interval: float = 2e-3
     heartbeat_miss: int = 3
+    checksum_overhead: float = 0.5e-6
+    checksum_byte_cpu: float = 1.5e-9
+    digest_overhead: float = 0.5e-6
+    digest_byte_cpu: float = 1.5e-9
+    repair_overhead: float = 2e-6
 
     def transfer_time(self, nbytes: int) -> float:
         """Network flight time of a message of ``nbytes`` payload bytes."""
@@ -164,6 +178,35 @@ class MachineModel:
             + self.receiver_cpu(_SCALAR_NBYTES)
         )
         return timeout + rounds * per_round
+
+    def checksum_time(self, nbytes: int) -> float:
+        """CPU time to compute (sender) or verify (receiver) a message
+        checksum over ``nbytes`` of payload."""
+        return self.checksum_overhead + nbytes * self.checksum_byte_cpu
+
+    def digest_time(self, nbytes: int) -> float:
+        """CPU time to digest ``nbytes`` of committed node state."""
+        return self.digest_overhead + nbytes * self.digest_byte_cpu
+
+    def retransmit_penalty(self, nbytes: int) -> float:
+        """Virtual time one corrupted transmission attempt costs the
+        receiver: verify the bad checksum, NACK the sender (one scalar
+        control message at the usual alpha-beta + overhead price), and wait
+        out the full retransmission of the payload.
+        """
+        nack = (
+            self.sender_cpu(_SCALAR_NBYTES)
+            + self.transfer_time(_SCALAR_NBYTES)
+            + self.receiver_cpu(_SCALAR_NBYTES)
+        )
+        resend = self.sender_cpu(nbytes) + self.transfer_time(nbytes)
+        return self.checksum_time(nbytes) + nack + resend
+
+    def repair_time(self, nbytes: int) -> float:
+        """CPU time to splice a replica's value over a corrupted node and
+        re-digest it (the point-to-point fetch itself is priced through the
+        normal message path)."""
+        return self.repair_overhead + self.digest_time(nbytes)
 
     def ack_timeout(self, nbytes: int) -> float:
         """Default per-attempt ack timeout of a reliable-delivery layer.
@@ -260,6 +303,11 @@ IDEAL = MachineModel(
     per_byte_cpu=0.0,
     barrier_latency=0.0,
     heartbeat_interval=0.0,
+    checksum_overhead=0.0,
+    checksum_byte_cpu=0.0,
+    digest_overhead=0.0,
+    digest_byte_cpu=0.0,
+    repair_overhead=0.0,
 )
 
 #: A slower commodity-cluster profile for ablation studies.

@@ -1,0 +1,142 @@
+"""Property test: ``FaultPlan.parse`` and ``to_spec`` are exact inverses.
+
+The CLI, the bench harness, and the conformance suite all pass fault plans
+around as spec strings, so every representable plan must survive
+``parse(to_spec(plan)) == plan`` bit-for-bit -- including the silent-
+corruption clauses (``flipmsg=``, ``flip=``) added for integrity testing.
+Malformed tokens must come back as one-line usage errors (exit code 2)
+through the CLI, never tracebacks.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.graphs.chaco import write_chaco
+from repro.graphs.generators import grid2d
+from repro.mpi import (
+    CrashEvent,
+    DelaySpec,
+    DropSpec,
+    FaultPlan,
+    MemoryFlipEvent,
+    MessageFlipSpec,
+    RetryPolicy,
+    SlowWindow,
+)
+
+probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+small_floats = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+ranks = st.integers(min_value=0, max_value=15)
+iterations = st.integers(min_value=1, max_value=200)
+
+delays = st.builds(DelaySpec, prob=probs, extra=small_floats)
+drops = st.builds(DropSpec, prob=probs)
+retries = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=24),
+    timeout=st.one_of(st.none(), small_floats),
+    backoff=st.floats(min_value=1.0, max_value=8.0, allow_nan=False),
+)
+slow_windows = st.builds(
+    SlowWindow,
+    rank=ranks,
+    factor=st.floats(min_value=1.0, max_value=50.0, allow_nan=False),
+    start=small_floats,
+    end=st.none(),
+).flatmap(
+    lambda w: st.one_of(
+        st.just(w),
+        st.floats(min_value=1e-3, max_value=10.0, allow_nan=False).map(
+            lambda delta: SlowWindow(
+                rank=w.rank, factor=w.factor, start=w.start, end=w.start + delta
+            )
+        ),
+    )
+)
+crashes = st.builds(CrashEvent, rank=ranks, iteration=iterations)
+flip_msgs = st.builds(MessageFlipSpec, prob=probs)
+flips = st.builds(
+    MemoryFlipEvent,
+    rank=ranks,
+    iteration=iterations,
+    node=st.one_of(st.none(), st.integers(min_value=1, max_value=4096)),
+)
+
+plans = st.builds(
+    FaultPlan,
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    delay=st.one_of(st.none(), delays),
+    drop=st.one_of(st.none(), drops),
+    retry=retries,
+    slow=st.lists(slow_windows, max_size=3).map(tuple),
+    crashes=st.lists(crashes, max_size=3).map(tuple),
+    flip_msg=st.one_of(st.none(), flip_msgs),
+    flips=st.lists(flips, max_size=3).map(tuple),
+)
+
+
+@given(plan=plans)
+@settings(max_examples=300, deadline=None)
+def test_parse_to_spec_roundtrip(plan):
+    assert FaultPlan.parse(plan.to_spec()) == plan
+
+
+@given(plan=plans)
+@settings(max_examples=100, deadline=None)
+def test_describe_never_raises(plan):
+    text = plan.describe()
+    assert isinstance(text, str) and text.startswith("seed=")
+
+
+class TestMalformedTokensExitTwo:
+    """Bad --faults tokens are usage errors: one stderr line, exit code 2."""
+
+    @pytest.fixture()
+    def graph_file(self, tmp_path):
+        path = tmp_path / "grid.txt"
+        write_chaco(grid2d(4, 4), str(path))
+        return str(path)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "flip=bogus",
+            "flip=1@0",
+            "flip=1@2:0",
+            "flipmsg=1.5",
+            "flipmsg=abc",
+            "flip=1",
+        ],
+    )
+    def test_malformed_flip_specs(self, graph_file, spec, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "run",
+                    "--graph", graph_file,
+                    "--np", "2",
+                    "--iterations", "2",
+                    "--faults", spec,
+                ]
+            )
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "repro run: error: --faults:" in err
+
+    def test_flip_rank_out_of_range(self, graph_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "run",
+                    "--graph", graph_file,
+                    "--np", "2",
+                    "--iterations", "2",
+                    "--faults", "flip=7@3",
+                ]
+            )
+        assert exc.value.code == 2
+        assert "rank 7" in capsys.readouterr().err

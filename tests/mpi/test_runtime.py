@@ -287,6 +287,56 @@ class TestErrorPathConformance:
 
         assert cluster.run(healthy) == [0, 1]
 
+    def test_quarantined_cluster_is_reusable(self):
+        """A shrink recovery quarantines ``(comm_id, src)`` pairs so stale
+        traffic from dead ranks is dropped; ``run()`` must clear them, or a
+        reused cluster silently swallows a reused channel id's messages and
+        the receiver hangs."""
+        cluster = SimCluster(2, deadlock_timeout=5.0)
+
+        def shrink_like(comm):
+            if comm.rank == 0:
+                # Pretend rank 1 died mid-run: purge its comm-0 traffic.
+                cluster.quarantine(0, frozenset({1}), comm_id=0)
+            return comm.rank
+
+        assert cluster.run(shrink_like) == [0, 1]
+
+        def exchange(comm):
+            if comm.rank == 1:
+                comm.send("hello", 0)
+                return None
+            return comm.recv(source=1)
+
+        assert cluster.run(exchange) == ["hello", None]
+
+    def test_fault_streams_reset_on_reused_cluster(self):
+        """Each run() rebuilds the per-rank fault decision streams, so the
+        same cluster replays the same plan identically run after run."""
+        from repro.mpi import FaultPlan
+
+        cluster = SimCluster(
+            2,
+            machine=ORIGIN2000,
+            faults=FaultPlan.parse("seed=9,flipmsg=0.3"),
+            checksums=True,
+        )
+
+        def fn(comm):
+            if comm.rank == 0:
+                for i in range(30):
+                    comm.send(float(i), 1, tag=1)
+                return comm.Wtime()
+            received = [comm.recv(source=0, tag=1) for _ in range(30)]
+            return received, comm.Wtime()
+
+        first = cluster.run(fn)
+        first_report = cluster.fault_state.report()
+        second = cluster.run(fn)
+        assert second == first
+        assert cluster.fault_state.report() == first_report
+        assert first_report.corrupted > 0
+
 
 class TestDeterminism:
     def test_virtual_times_are_reproducible(self):
