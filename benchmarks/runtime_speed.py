@@ -1,0 +1,260 @@
+"""Wall-clock runtime benchmark: event vs threads scheduler backends.
+
+Times real-seconds execution (not virtual seconds -- both backends produce
+bit-identical virtual results, which this benchmark also re-asserts) of
+three reference workloads on both :class:`~repro.mpi.runtime.SimCluster`
+execution backends:
+
+``hex64_sweep``
+    A 32-rank pipelined wavefront relaxation over the paper's 64-node hex
+    grid (forward + backward Gauss-Seidel-style sweeps, one boundary
+    hand-off per neighbour band per direction).  At most one rank is
+    runnable at any instant, so this isolates pure scheduling cost: the
+    threaded backend broadcast-wakes every blocked rank on every delivery,
+    while the event backend hands the baton straight to the one rank the
+    message unblocks.  This is the headline (acceptance) workload -- the
+    event backend must be >= 3x faster.
+
+``rand64_average``
+    The bulk-synchronous neighbour-average platform run on a 64-node
+    random graph -- many ranks runnable at once, transport- and
+    compute-bound, so the scheduler is a small fraction of the profile.
+    Included to show the event backend is never *slower* on realistic
+    platform sweeps.
+
+``battlefield``
+    The battlefield simulator (two node functions, collectives, shadow
+    exchange) on the Metis partition -- the heaviest realistic workload.
+
+Run standalone (writes ``benchmarks/results/BENCH_runtime.json``)::
+
+    PYTHONPATH=src python benchmarks/runtime_speed.py          # full
+    PYTHONPATH=src python benchmarks/runtime_speed.py --quick  # CI smoke
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/runtime_speed.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.apps.average import FINE_GRAIN, make_average_fn
+from repro.apps.battlefield import BattlefieldApp, general_engagement
+from repro.core import ICPlatform, PlatformConfig
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.hexgrid import hex64
+from repro.mpi import IDEAL, run_mpi
+from repro.partitioning import MetisLikePartitioner
+from repro.partitioning.bands import RowBandPartitioner
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BACKENDS = ("event", "threads")
+
+#: Wall-clock repeats per (workload, backend); best-of is reported so a
+#: single noisy CI neighbour cannot poison the comparison.
+REPEATS = 3
+
+#: The acceptance floor for the headline workload (full mode).
+HEX64_MIN_SPEEDUP = 3.0
+
+
+# --------------------------------------------------------------------- #
+# Workloads
+# --------------------------------------------------------------------- #
+
+
+def _hex64_sweep(scheduler: str, quick: bool):
+    """Pipelined wavefront relaxation across 32 row-band ranks of hex64."""
+    graph = hex64()
+    neighbors = {g: tuple(graph.neighbors(g)) for g in graph.nodes()}
+    assignment = RowBandPartitioner(8, 8).partition(graph, 32).assignment
+    sweeps = 10 if quick else 40
+
+    def sweep(comm):
+        rank, size = comm.rank, comm.size
+        owned = [g for g in sorted(graph.nodes()) if assignment[g - 1] == rank]
+        values = {g: float(g) for g in owned}
+        fwd_keys = [
+            g
+            for g in owned
+            if rank < size - 1
+            and any(assignment[m - 1] == rank + 1 for m in neighbors[g])
+        ]
+        bwd_keys = [
+            g
+            for g in owned
+            if rank > 0 and any(assignment[m - 1] == rank - 1 for m in neighbors[g])
+        ]
+        for _ in range(sweeps):
+            if rank > 0:  # forward wavefront: upstream boundary first
+                values.update(comm.recv(source=rank - 1, tag=1))
+            for g in owned:
+                acc = values.get(g, 0.0)
+                for m in neighbors[g]:
+                    acc += values.get(m, 0.0)
+                values[g] = acc / (1 + len(neighbors[g]))
+            if rank < size - 1:
+                comm.send({g: values[g] for g in fwd_keys}, dest=rank + 1, tag=1)
+                values.update(comm.recv(source=rank + 1, tag=2))  # backward
+            for g in reversed(owned):
+                acc = values.get(g, 0.0)
+                for m in neighbors[g]:
+                    acc += values.get(m, 0.0)
+                values[g] = acc / (1 + len(neighbors[g]))
+            if rank > 0:
+                comm.send({g: values[g] for g in bwd_keys}, dest=rank - 1, tag=2)
+        return comm.Wtime(), sorted(values.items())
+
+    return run_mpi(sweep, 32, machine=IDEAL, scheduler=scheduler)
+
+
+def _rand64_average(scheduler: str, quick: bool):
+    """Platform neighbour-average on a 64-node random graph, 8 ranks."""
+    graph = random_connected_graph(64, seed=0)
+    partition = MetisLikePartitioner(seed=1).partition(graph, 8)
+    config = PlatformConfig(iterations=8 if quick else 30)
+    platform = ICPlatform(graph, make_average_fn(FINE_GRAIN), config=config)
+    result = platform.run(partition, scheduler=scheduler)
+    return result.elapsed, sorted(result.values.items())
+
+
+def _battlefield(scheduler: str, quick: bool):
+    """Battlefield simulator on the Metis partition, 8 ranks."""
+    app = BattlefieldApp(general_engagement())
+    graph = app.graph()
+    partition = MetisLikePartitioner(seed=0, trials=4).partition(graph, 8)
+    platform = ICPlatform(
+        graph,
+        app.node_fns(),
+        init_value=app.init_value,
+        config=app.platform_config(steps=2 if quick else 10),
+    )
+    result = platform.run(partition, scheduler=scheduler)
+    return result.elapsed, sorted(result.values.items())
+
+
+WORKLOADS = {
+    "hex64_sweep": _hex64_sweep,
+    "rand64_average": _rand64_average,
+    "battlefield": _battlefield,
+}
+
+
+# --------------------------------------------------------------------- #
+# Measurement
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class WorkloadTiming:
+    """Best-of-``REPEATS`` wall seconds per backend for one workload."""
+
+    name: str
+    seconds: dict[str, float] = field(default_factory=dict)
+    identical: bool = False
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster the event backend ran this workload."""
+        return self.seconds["threads"] / self.seconds["event"]
+
+    def to_dict(self) -> dict:
+        return {
+            "event_seconds": round(self.seconds["event"], 6),
+            "threads_seconds": round(self.seconds["threads"], 6),
+            "speedup": round(self.speedup, 3),
+            "identical_virtual_results": self.identical,
+        }
+
+
+@dataclass
+class RuntimeSpeedResult:
+    quick: bool
+    workloads: dict[str, WorkloadTiming] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": "runtime_speed",
+            "quick": self.quick,
+            "repeats": REPEATS,
+            "workloads": {n: t.to_dict() for n, t in self.workloads.items()},
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"Scheduler wall-clock comparison ({'quick' if self.quick else 'full'},"
+            f" best of {REPEATS})",
+            f"{'workload':<16} {'event (s)':>10} {'threads (s)':>12} {'speedup':>8}",
+        ]
+        for name, t in self.workloads.items():
+            lines.append(
+                f"{name:<16} {t.seconds['event']:>10.4f}"
+                f" {t.seconds['threads']:>12.4f} {t.speedup:>7.2f}x"
+            )
+        return "\n".join(lines)
+
+
+def run(results_dir: Path = RESULTS_DIR, quick: bool = False) -> RuntimeSpeedResult:
+    result = RuntimeSpeedResult(quick=quick)
+    for name, workload in WORKLOADS.items():
+        timing = WorkloadTiming(name=name)
+        outcomes = {}
+        for backend in BACKENDS:
+            best = float("inf")
+            for _ in range(REPEATS):
+                start = time.perf_counter()
+                outcomes[backend] = workload(backend, quick)
+                best = min(best, time.perf_counter() - start)
+            timing.seconds[backend] = best
+        # Bit-identical virtual outcomes (clocks and values) are part of
+        # the backends' contract; a benchmark comparing different answers
+        # would be meaningless.
+        timing.identical = outcomes["event"] == outcomes["threads"]
+        result.workloads[name] = timing
+    results_dir.mkdir(exist_ok=True)
+    payload = json.dumps(result.to_dict(), indent=2) + "\n"
+    (results_dir / "BENCH_runtime.json").write_text(payload)
+    (results_dir / "runtime_speed.txt").write_text(result.render() + "\n")
+    return result
+
+
+def _check(result: RuntimeSpeedResult) -> list[str]:
+    """Acceptance checks; returns a list of failure messages."""
+    failures = []
+    for name, timing in result.workloads.items():
+        if not timing.identical:
+            failures.append(f"{name}: virtual results differ between backends")
+    sweep = result.workloads["hex64_sweep"]
+    if result.quick:
+        if sweep.speedup < 1.0:  # CI smoke: event must never be slower
+            failures.append(
+                f"hex64_sweep: event slower than threads ({sweep.speedup:.2f}x)"
+            )
+    elif sweep.speedup < HEX64_MIN_SPEEDUP:
+        failures.append(
+            f"hex64_sweep: speedup {sweep.speedup:.2f}x < {HEX64_MIN_SPEEDUP}x"
+        )
+    return failures
+
+
+def test_runtime_speed():
+    result = run()
+    print(f"\n{result.render()}\n")
+    failures = _check(result)
+    assert not failures, "; ".join(failures)
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv
+    outcome = run(quick=quick)
+    print(outcome.render())
+    problems = _check(outcome)
+    if problems:
+        raise SystemExit("FAIL: " + "; ".join(problems))

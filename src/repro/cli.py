@@ -219,7 +219,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     balancer = _BALANCERS[args.balancer](args.lb_threshold) if args.dynamic else None
     platform = ICPlatform(graph, node_fn, config=config, balancer=balancer)
-    result = platform.run(partition, machine=_MACHINES[args.machine], faults=faults)
+    result = platform.run(
+        partition,
+        machine=_MACHINES[args.machine],
+        faults=faults,
+        scheduler=args.scheduler,
+    )
 
     print(f"graph         {graph.name} ({graph.num_nodes} nodes)")
     print(f"partition     {partition.method} (cut {partition.edge_cut()})")
@@ -368,6 +373,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--grain", choices=("fine", "coarse"), default="fine")
     run.add_argument("--iterations", type=int, default=20)
     run.add_argument("--machine", choices=sorted(_MACHINES), default="origin2000")
+    run.add_argument("--scheduler", choices=("event", "threads"), default=None,
+                     help="simulated-cluster execution backend (default: event; "
+                          "virtual-time results are identical, event is faster)")
     run.add_argument("--dynamic", action="store_true", help="enable dynamic LB")
     run.add_argument("--balancer", choices=sorted(_BALANCERS), default="centralized")
     run.add_argument("--lb-period", type=int, default=10)

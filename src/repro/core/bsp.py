@@ -177,6 +177,7 @@ def run_vertex_program(
     max_supersteps: int = 100,
     machine: MachineModel = ORIGIN2000,
     compute_grain: float = 0.0,
+    scheduler: str | None = None,
 ) -> tuple[dict[int, Any], int]:
     """Execute a vertex program over a partitioned graph.
 
@@ -188,6 +189,8 @@ def run_vertex_program(
         max_supersteps: Bound on supersteps.
         machine: Virtual-machine cost model.
         compute_grain: Seconds charged per vertex compute call.
+        scheduler: Simulated-cluster execution backend (see
+            :class:`~repro.mpi.runtime.SimCluster`).
 
     Returns:
         ``(gid -> final value, supersteps executed)``.
@@ -231,7 +234,9 @@ def run_vertex_program(
         _, supersteps = run_bsp(comm, step, None, max_supersteps=max_supersteps)
         return {gid: states[gid].value for gid in owned}, supersteps
 
-    cluster = SimCluster(partition.nparts, machine=machine, deadlock_timeout=30.0)
+    cluster = SimCluster(
+        partition.nparts, machine=machine, deadlock_timeout=30.0, scheduler=scheduler
+    )
     results = cluster.run(rank_main)
     values: dict[int, Any] = {}
     supersteps = 0

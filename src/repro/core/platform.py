@@ -187,6 +187,7 @@ class ICPlatform:
         deadlock_timeout: float = 30.0,
         faults: FaultPlan | None = None,
         sched_jitter: Callable[[], None] | None = None,
+        scheduler: str | None = None,
     ) -> PlatformResult:
         """Execute the configured number of iterations on the partition.
 
@@ -202,6 +203,10 @@ class ICPlatform:
             sched_jitter: Test hook forwarded to :class:`SimCluster` --
                 called at thread scheduling points to perturb the *host*
                 schedule without affecting virtual-time results.
+            scheduler: Execution backend for the simulated cluster
+                (``"event"`` or ``"threads"``); ``None`` lets the cluster
+                pick (event unless jitter fuzzing is armed).  Virtual-time
+                results are identical either way.
         """
         if partition.graph is not self.graph and partition.graph != self.graph:
             raise ValueError("partition was computed for a different graph")
@@ -213,6 +218,7 @@ class ICPlatform:
             faults=faults,
             sched_jitter=sched_jitter,
             checksums=self.config.integrity in ("checksum", "full"),
+            scheduler=scheduler,
         )
         outcomes: list[RankOutcome] = cluster.run(self._rank_main, partition)
 
@@ -681,11 +687,16 @@ def run_platform(
     balancer: LoadBalancer | None = None,
     faults: FaultPlan | None = None,
     sched_jitter: Callable[[], None] | None = None,
+    scheduler: str | None = None,
 ) -> PlatformResult:
     """One-shot convenience wrapper around :class:`ICPlatform`."""
     platform = ICPlatform(
         graph, node_fn, init_value=init_value, config=config, balancer=balancer
     )
     return platform.run(
-        partition, machine=machine, faults=faults, sched_jitter=sched_jitter
+        partition,
+        machine=machine,
+        faults=faults,
+        sched_jitter=sched_jitter,
+        scheduler=scheduler,
     )

@@ -4,7 +4,10 @@ This package stands in for the real MPI library + SGI Origin-2000 testbed of
 the thesis.  It provides:
 
 * :class:`SimCluster` / :func:`run_mpi` -- ``mpirun``-style execution of a
-  Python function on N simulated ranks (thread per rank),
+  Python function on N simulated ranks, driven by a pluggable execution
+  backend (``scheduler="event"`` for cooperative event-driven switching
+  with exact deadlock detection -- the default -- or ``"threads"`` for the
+  preemptive thread-per-rank original used by schedule fuzzing),
 * :class:`Communicator` -- an mpi4py-flavoured API (``send``/``recv``/
   ``isend``/``irecv``/``bcast``/``gather``/``barrier``/``Wtime``) whose costs
   are charged to deterministic per-rank *virtual clocks*,
@@ -51,8 +54,14 @@ from .faults import (
     corrupt_value,
     state_digest,
 )
-from .message import Message, RecvRequest, Request, SendRequest, Status
+from .message import Mailbox, Message, RecvRequest, Request, SendRequest, Status
 from .runtime import RankState, SimCluster, run_mpi
+from .scheduler import (
+    SCHEDULERS,
+    EventScheduler,
+    SchedulerBackend,
+    ThreadedScheduler,
+)
 from .timing import (
     ETHERNET_CLUSTER,
     IDEAL,
@@ -76,6 +85,7 @@ __all__ = [
     "DropSpec",
     "DOUBLE",
     "ETHERNET_CLUSTER",
+    "EventScheduler",
     "FailureDetector",
     "FaultPlan",
     "FaultReport",
@@ -85,6 +95,7 @@ __all__ = [
     "InvalidRankError",
     "InvalidTagError",
     "MachineModel",
+    "Mailbox",
     "MemoryFlipEvent",
     "Message",
     "MessageFlipSpec",
@@ -93,6 +104,8 @@ __all__ = [
     "ORIGIN2000",
     "RankState",
     "RetryPolicy",
+    "SCHEDULERS",
+    "SchedulerBackend",
     "SlowWindow",
     "RecvRequest",
     "Request",
@@ -100,6 +113,7 @@ __all__ = [
     "ShrinkError",
     "SimCluster",
     "Status",
+    "ThreadedScheduler",
     "StructType",
     "TopologyMachineModel",
     "TruncationError",

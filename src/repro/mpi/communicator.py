@@ -92,7 +92,7 @@ class Communicator:
         """The cluster's per-run :class:`~repro.mpi.faults.FaultState`
         (None when no fault plan is armed).  The platform's recovery loop
         reads the plan's crash schedule through this."""
-        return getattr(self._cluster, "fault_state", None)
+        return self._cluster.fault_state
 
     def __repr__(self) -> str:
         return f"Communicator(rank={self._rank}, size={self.size}, id={self._comm_id!r})"
@@ -128,7 +128,7 @@ class Communicator:
     def _charge_cpu(self, seconds: float) -> float:
         """Charge CPU time, inflated by any active slow-rank fault window."""
         state = self._state()
-        faults = getattr(self._cluster, "fault_state", None)
+        faults = self._cluster.fault_state
         if faults is not None:
             seconds *= faults.compute_scale(self._world_rank, state.clock)
         state.clock += seconds
@@ -164,8 +164,8 @@ class Communicator:
         size = estimate_nbytes(obj) if nbytes is None else nbytes
         state = self._state()
         machine = self._cluster.machine
-        faults = getattr(self._cluster, "fault_state", None)
-        checksums = getattr(self._cluster, "checksums", False)
+        faults = self._cluster.fault_state
+        checksums = self._cluster.checksums
         self._charge_cpu(machine.sender_cpu(size))
         if checksums:
             # Checksummed transport: the sender pays to checksum every
@@ -272,12 +272,12 @@ class Communicator:
         state = self._state()
         machine = self._cluster.machine
         state.clock = max(state.clock, msg.arrival_time)
-        if getattr(self._cluster, "checksums", False):
+        if self._cluster.checksums:
             # Verify-and-retransmit: each corrupted attempt costs a failed
             # verify, a NACK round trip, and the full resend (all waited out
             # on the receiver's clock -- sends are eager, so the sender has
             # long moved on); then one clean verify accepts the payload.
-            faults = getattr(self._cluster, "fault_state", None)
+            faults = self._cluster.fault_state
             for _ in range(msg.corrupt_attempts):
                 state.clock += machine.retransmit_penalty(msg.nbytes)
                 if faults is not None:

@@ -65,6 +65,13 @@ class FailureDetector:
         self._machine = machine
         self._nprocs = nprocs
         self._dead: set[int] = set()
+        # The plan's crash list is fixed, but poll() runs at every iteration
+        # boundary on every rank; bucket the events by iteration once so a
+        # quiet boundary is a single dict miss instead of a list scan.
+        self._by_iteration: dict[int, list] = {}
+        if plan is not None:
+            for event in plan.crashes:
+                self._by_iteration.setdefault(event.iteration, []).append(event)
 
     @property
     def dead_ranks(self) -> frozenset[int]:
@@ -78,11 +85,12 @@ class FailureDetector:
         already died earlier are swallowed; the surviving-rank count used to
         price the agreement round excludes the newly dead.
         """
-        if self._plan is None:
+        scheduled = self._by_iteration.get(iteration)
+        if not scheduled:
             return None
         fresh = tuple(
             sorted(
-                (e for e in self._plan.crashes_at(iteration) if e.rank not in self._dead),
+                (e for e in scheduled if e.rank not in self._dead),
                 key=lambda e: e.rank,
             )
         )

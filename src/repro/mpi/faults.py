@@ -734,7 +734,13 @@ class FaultState:
         self._counters[rank].crashes += 1
 
     def compute_scale(self, rank: int, clock: float) -> float:
-        """Slow-rank CPU multiplier for ``rank`` at virtual time ``clock``."""
+        """Slow-rank CPU multiplier for ``rank`` at virtual time ``clock``.
+
+        Early-out when the plan configures no slow windows: this sits on
+        every ``work()`` charge, i.e. once per graph node per iteration.
+        """
+        if not self.plan.slow:
+            return 1.0
         return self.plan.compute_scale(rank, clock)
 
     # ------------------------------------------------------------------ #

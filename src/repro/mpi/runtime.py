@@ -1,9 +1,10 @@
-"""The simulated cluster: thread-per-rank execution with virtual clocks.
+"""The simulated cluster: virtual clocks over pluggable execution backends.
 
-``SimCluster.run(fn, ...)`` plays the role of ``mpirun -np N``: it launches
-one OS thread per rank, hands each a :class:`~repro.mpi.communicator.
-Communicator` (its ``COMM_WORLD``), and joins them.  Real time is irrelevant;
-every rank owns a *virtual clock* that advances only through
+``SimCluster.run(fn, ...)`` plays the role of ``mpirun -np N``: it executes
+``fn`` once per rank, hands each invocation a :class:`~repro.mpi.
+communicator.Communicator` (its ``COMM_WORLD``), and collects the results.
+Real time is irrelevant; every rank owns a *virtual clock* that advances
+only through
 
 * explicit compute charges (``comm.work(seconds)``), and
 * the communication cost model (:mod:`repro.mpi.timing`).
@@ -12,28 +13,40 @@ Because the Python GIL serializes actual execution, the only way to study
 parallel *performance* on this substrate is through those virtual clocks --
 which is exactly how the benchmark harness reproduces the paper's tables.
 
-Correctness properties the runtime guarantees:
+How the rank programs are interleaved on the host is delegated to a
+:mod:`~repro.mpi.scheduler` backend, selected by ``scheduler=``:
+
+* ``"event"`` (default) -- cooperative event-driven scheduling: one rank
+  runs at a time, blocked ranks are woken precisely by the event that
+  unblocks them, and deadlock is detected *exactly* (and instantly) when
+  the run queue empties with unfinished ranks blocked;
+* ``"threads"`` -- the preemptive original with a condition-variable poll
+  and a real-time deadlock watchdog, retained for the ``sched_jitter``
+  schedule-fuzzing suites (and selected automatically when a jitter hook
+  is armed).
+
+Correctness properties the runtime guarantees on either backend:
 
 * per-(source, dest, tag-stream) FIFO message ordering, so virtual results
   are deterministic for named-source receives regardless of host thread
   scheduling;
-* a deadlock watchdog that raises :class:`DeadlockError` instead of hanging
-  when every unfinished rank is blocked and no progress is possible;
+* deadlock surfaces as :class:`DeadlockError` instead of a hang;
 * exception propagation: if any rank raises, all blocked peers are woken
   with :class:`CommAbortedError` and the original exception is re-raised
-  from :meth:`SimCluster.run`.
+  from :meth:`SimCluster.run`, with any *other* ranks' original failures
+  attached as ``__notes__`` so a genuine multi-rank bug is not masked.
 """
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from .communicator import Communicator
-from .errors import CommAbortedError, DeadlockError
+from .errors import CommAbortedError, DeadlockError  # noqa: F401 - re-export
 from .faults import FaultPlan, FaultState
-from .message import Message
+from .message import Mailbox, Message
+from .scheduler import make_scheduler, resolve_scheduler_name
 from .timing import ORIGIN2000, MachineModel
 
 __all__ = ["RankState", "SimCluster", "run_mpi"]
@@ -45,7 +58,7 @@ class RankState:
 
     rank: int
     clock: float = 0.0
-    mailbox: list[Message] = field(default_factory=list)
+    mailbox: Mailbox = field(default_factory=Mailbox)
     finished: bool = False
     blocked: bool = False
     result: Any = None
@@ -53,7 +66,13 @@ class RankState:
 
 
 class _BarrierState:
-    """Rendezvous bookkeeping for one communicator's barrier."""
+    """Rendezvous bookkeeping for one ``(comm_id, group)`` barrier.
+
+    Keyed by the *group* as well as the channel id: two sub-communicators
+    that happen to share a channel id (hand-built communicators, or
+    disjoint groups on a reused id) must never count each other's arrivals
+    or cross-release.
+    """
 
     __slots__ = ("count", "generation", "max_clock", "release_clock")
 
@@ -71,21 +90,28 @@ class SimCluster:
         nprocs: Number of ranks in ``COMM_WORLD``.
         machine: Cost model used for every communication operation.
         deadlock_timeout: Real-time seconds of global inactivity after which
-            blocked ranks abort with :class:`DeadlockError`.
+            blocked ranks abort with :class:`DeadlockError` -- only
+            meaningful on the ``"threads"`` backend; the event backend
+            detects deadlock exactly and ignores this knob.
         faults: Optional seeded :class:`~repro.mpi.faults.FaultPlan`; a
             fresh per-run :class:`~repro.mpi.faults.FaultState` is built at
             every :meth:`run`, so re-running the same plan replays the same
             faults.
-        sched_jitter: Test hook: a callable invoked (outside the runtime
+        sched_jitter: Test hook: a callable invoked (outside any runtime
             lock) at every transport entry point -- deliver, receive wait,
             barrier.  The schedule-fuzzing determinism suite injects small
             real-time sleeps here to perturb host-thread interleavings
-            without touching virtual time.
+            without touching virtual time.  Arming it selects the
+            ``"threads"`` backend unless ``scheduler`` says otherwise.
         checksums: Arm the checksummed transport: every message pays a
             sender-side checksum and receiver-side verify (virtual time),
             and payload corruption injected by a
             :class:`~repro.mpi.faults.MessageFlipSpec` is absorbed by a
             priced NACK + retransmit path instead of escaping silently.
+        scheduler: Execution backend: ``"event"`` (cooperative, precise
+            wakeups, exact deadlock detection -- the default) or
+            ``"threads"`` (preemptive, polling watchdog).  ``None`` picks
+            ``"event"``, or ``"threads"`` when ``sched_jitter`` is armed.
     """
 
     def __init__(
@@ -96,6 +122,7 @@ class SimCluster:
         faults: FaultPlan | None = None,
         sched_jitter: Callable[[], None] | None = None,
         checksums: bool = False,
+        scheduler: str | None = None,
     ) -> None:
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
@@ -108,11 +135,10 @@ class SimCluster:
             FaultState(faults, nprocs) if faults is not None else None
         )
         self._sched_jitter = sched_jitter
-        self._lock = threading.Lock()
-        self._cond = threading.Condition(self._lock)
+        self.scheduler = resolve_scheduler_name(scheduler, sched_jitter)
+        self._backend = make_scheduler(self.scheduler, self, deadlock_timeout)
         self._ranks = [RankState(r) for r in range(nprocs)]
         self._barriers: dict[Any, _BarrierState] = {}
-        self._progress = 0  # bumped on every event that could unblock a waiter
         self._aborted = False
         self._abort_reason: str | None = None
         # (comm_id, local src) pairs condemned by quarantine(): a dead rank's
@@ -143,7 +169,11 @@ class SimCluster:
             ``[fn(comm_0, ...), ..., fn(comm_{n-1}, ...)]`` in rank order.
 
         Raises:
-            The first exception raised by any rank (other ranks are aborted).
+            The first exception raised by any rank (other ranks are
+            aborted).  When several ranks fail with their own original
+            errors, the re-raised exception carries one ``__notes__`` line
+            per additional failed rank (Python >= 3.11), so a genuine
+            two-rank bug is visible from the single traceback.
         """
         if per_rank_args is not None and len(per_rank_args) != self.nprocs:
             raise ValueError(
@@ -162,7 +192,6 @@ class SimCluster:
             state.result = None
             state.error = None
         self._barriers.clear()
-        self._progress = 0
         self._aborted = False
         self._abort_reason = None
         # Quarantine filters installed by a previous shrink recovery would
@@ -173,6 +202,8 @@ class SimCluster:
         if self.faults is not None:
             self.fault_state = FaultState(self.faults, self.nprocs)
 
+        backend = self._backend
+
         def runner(rank: int) -> None:
             state = self._ranks[rank]
             comm = Communicator(self, rank, tuple(range(self.nprocs)), comm_id=0)
@@ -181,35 +212,41 @@ class SimCluster:
                 state.result = fn(comm, *args, *extra)
             except BaseException as exc:  # noqa: BLE001 - reraised in run()
                 state.error = exc
-                with self._cond:
+                with backend.guard():
                     self._aborted = True
                     self._abort_reason = f"rank {rank} raised {type(exc).__name__}: {exc}"
-                    self._cond.notify_all()
+                    backend.notify()
             finally:
-                with self._cond:
+                with backend.guard():
                     state.finished = True
-                    self._progress += 1
-                    self._cond.notify_all()
+                    backend.notify()
 
-        threads = [
-            threading.Thread(target=runner, args=(r,), name=f"sim-rank-{r}", daemon=True)
-            for r in range(self.nprocs)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        backend.execute(runner, self.nprocs)
 
+        # A rank's own failure outranks the CommAbortedError its peers get
+        # from the abort cascade.  The first original failure is re-raised;
+        # any further ranks' original failures are attached as notes so
+        # they are not silently masked.
+        primary: BaseException | None = None
         for state in self._ranks:
-            if state.error is not None and not isinstance(state.error, CommAbortedError):
-                raise state.error
+            if state.error is None or isinstance(state.error, CommAbortedError):
+                continue
+            if primary is None:
+                primary = state.error
+            elif hasattr(primary, "add_note"):  # Python >= 3.11
+                primary.add_note(
+                    f"[simulated cluster] rank {state.rank} also failed: "
+                    f"{type(state.error).__name__}: {state.error}"
+                )
+        if primary is not None:
+            raise primary
         for state in self._ranks:  # only abort errors remain, surface the first
             if state.error is not None:
                 raise state.error
         return [state.result for state in self._ranks]
 
     # ------------------------------------------------------------------ #
-    # State accessors used by Communicator (all require self._lock)
+    # State accessors used by Communicator
     # ------------------------------------------------------------------ #
 
     def state(self, rank: int) -> RankState:
@@ -225,11 +262,16 @@ class SimCluster:
         return max(state.clock for state in self._ranks)
 
     def abort(self, reason: str) -> None:
-        """Abort the whole cluster; wakes all blocked ranks."""
-        with self._cond:
+        """Abort the whole cluster; wakes all blocked ranks.
+
+        Must be called from a rank's own thread (any transport entry point
+        qualifies) -- on the cooperative backend only the running rank may
+        touch cluster state.
+        """
+        with self._backend.guard():
             self._aborted = True
             self._abort_reason = reason
-            self._cond.notify_all()
+            self._backend.notify()
 
     def quarantine(self, rank: int, dead_srcs: frozenset[int], comm_id: Any) -> int:
         """Drop ``rank``'s in-flight messages from dead peers on one comm.
@@ -250,18 +292,14 @@ class SimCluster:
         Returns:
             Number of messages discarded.
         """
-        with self._cond:
+        with self._backend.guard():
             for src in dead_srcs:
                 self._quarantined.add((comm_id, src))
-            mailbox = self._ranks[rank].mailbox
-            keep = [
-                m for m in mailbox if not (m.comm_id == comm_id and m.src in dead_srcs)
-            ]
-            dropped = len(mailbox) - len(keep)
+            dropped = self._ranks[rank].mailbox.purge(comm_id, dead_srcs)
             if dropped:
-                mailbox[:] = keep
-                self._progress += 1
-                self._cond.notify_all()
+                # Removals can unblock nobody; the empty wake set still
+                # re-arms the threaded backend's inactivity watchdog.
+                self._backend.notify(())
             return dropped
 
     # ------------------------------------------------------------------ #
@@ -281,104 +319,49 @@ class SimCluster:
         survivors shrank, and those stragglers must never reach a mailbox.
         """
         self._jitter()
-        with self._cond:
+        with self._backend.guard():
             self._check_abort()
             if (msg.comm_id, msg.src) in self._quarantined:
                 return
             self._ranks[msg.dest].mailbox.append(msg)
-            self._progress += 1
-            self._cond.notify_all()
+            self._backend.notify((msg.dest,))
 
     def take_matching(
         self, rank: int, source: int, tag: int, comm_id: Any, consume: bool = True
     ) -> Message | None:
         """Pop (or peek at) the best matching message in ``rank``'s mailbox.
 
-        Matching is FIFO per (source, tag) stream.  For wildcard receives the
-        candidate with the earliest virtual arrival time wins, with the
-        injection sequence number as a deterministic tie-break.
+        Matching is FIFO per (source, tag) stream; for wildcard receives
+        the per-source stream heads compete on the earliest virtual arrival
+        time with the source rank as a deterministic tie-break.  The index
+        lookup itself is delegated to :class:`~repro.mpi.message.Mailbox`.
         """
-        with self._cond:
-            return self._take_matching_locked(rank, source, tag, comm_id, consume)
-
-    def _take_matching_locked(
-        self, rank: int, source: int, tag: int, comm_id: Any, consume: bool = True
-    ) -> Message | None:
-        """Select a matching message.
-
-        Named source: first match in mailbox order.  Because each sender
-        appends in its own program order, mailbox order restricted to one
-        (source, tag) stream *is* send order, giving MPI's non-overtaking
-        guarantee.
-
-        ``ANY_SOURCE``: consider only the head (earliest-sent) match of each
-        source, then pick the one with the smallest virtual arrival time,
-        tie-broken by source rank -- deterministic in virtual time regardless
-        of host thread scheduling.
-        """
-        from .message import ANY_SOURCE as _ANY_SOURCE
-
-        mailbox = self._ranks[rank].mailbox
-        best_idx: int | None = None
-        if source != _ANY_SOURCE:
-            for idx, msg in enumerate(mailbox):
-                if msg.matches(source, tag, comm_id):
-                    best_idx = idx
-                    break
-        else:
-            heads: dict[int, int] = {}  # src -> first matching mailbox index
-            for idx, msg in enumerate(mailbox):
-                if msg.matches(source, tag, comm_id) and msg.src not in heads:
-                    heads[msg.src] = idx
-            if heads:
-                best_idx = min(
-                    heads.values(),
-                    key=lambda i: (mailbox[i].arrival_time, mailbox[i].src),
-                )
-        if best_idx is None:
-            return None
-        if not consume:
-            return mailbox[best_idx]
-        return mailbox.pop(best_idx)
+        with self._backend.guard():
+            return self._ranks[rank].mailbox.take(source, tag, comm_id, consume)
 
     def wait_for_message(
         self, rank: int, source: int, tag: int, comm_id: Any, consume: bool = True
     ) -> Message:
-        """Block rank's thread until a matching message exists, then pop it."""
+        """Block ``rank`` until a matching message exists, then pop it."""
         self._jitter()
-        state = self._ranks[rank]
-        waited = 0.0
-        poll = 0.05
-        with self._cond:
-            while True:
-                self._check_abort()
-                msg = self._take_matching_locked(rank, source, tag, comm_id, consume)
-                if msg is not None:
-                    return msg
-                snapshot = self._progress
-                state.blocked = True
-                try:
-                    self._cond.wait(timeout=poll)
-                finally:
-                    state.blocked = False
-                if self._progress != snapshot:
-                    waited = 0.0
-                    continue
-                waited += poll
-                if waited >= self.deadlock_timeout and self._all_stuck(state):
-                    self._aborted = True
-                    self._abort_reason = (
-                        f"deadlock: rank {rank} waiting on (source={source}, "
-                        f"tag={tag}) with all ranks blocked"
-                    )
-                    self._cond.notify_all()
-                    raise DeadlockError(self._abort_reason)
+        mailbox = self._ranks[rank].mailbox
+        with self._backend.guard():
+            return self._backend.wait(
+                rank,
+                lambda: mailbox.take(source, tag, comm_id, consume),
+                lambda: (
+                    f"deadlock: rank {rank} waiting on (source={source}, "
+                    f"tag={tag}) with all ranks blocked"
+                ),
+            )
 
     def _all_stuck(self, caller: RankState) -> bool:
         """True when every unfinished rank is blocked (deadlock candidate).
 
         The caller just woke from its own wait (clearing its flag) purely to
-        run this check, so it counts as stuck.
+        run this check, so it counts as stuck.  Only the threaded backend's
+        watchdog consults this; the event backend tracks runnability
+        exactly in its own task records.
         """
         return all(s.finished or s.blocked or s is caller for s in self._ranks)
 
@@ -394,13 +377,15 @@ class SimCluster:
         """Synchronize ``group``; returns the common release clock.
 
         All participants' clocks are advanced to
-        ``max(entry clocks) + barrier_time(len(group))``.
+        ``max(entry clocks) + barrier_time(len(group))``.  The last rank to
+        arrive releases exactly the ``group`` members -- a precise wakeup
+        on the event backend, a broadcast re-check on the threaded one.
         """
         self._jitter()
         state = self._ranks[rank]
-        with self._cond:
+        with self._backend.guard():
             self._check_abort()
-            bar = self._barriers.setdefault(comm_id, _BarrierState())
+            bar = self._barriers.setdefault((comm_id, group), _BarrierState())
             my_generation = bar.generation
             bar.max_clock = max(bar.max_clock, state.clock)
             bar.count += 1
@@ -409,28 +394,13 @@ class SimCluster:
                 bar.count = 0
                 bar.max_clock = 0.0
                 bar.generation += 1
-                self._progress += 1
-                self._cond.notify_all()
+                self._backend.notify(group)
             else:
-                waited = 0.0
-                poll = 0.05
-                while bar.generation == my_generation:
-                    self._check_abort()
-                    snapshot = self._progress
-                    state.blocked = True
-                    try:
-                        self._cond.wait(timeout=poll)
-                    finally:
-                        state.blocked = False
-                    if self._progress != snapshot:
-                        waited = 0.0
-                        continue
-                    waited += poll
-                    if waited >= self.deadlock_timeout and self._all_stuck(state):
-                        self._aborted = True
-                        self._abort_reason = f"deadlock: rank {rank} stuck in barrier"
-                        self._cond.notify_all()
-                        raise DeadlockError(self._abort_reason)
+                self._backend.wait(
+                    rank,
+                    lambda: True if bar.generation != my_generation else None,
+                    lambda: f"deadlock: rank {rank} stuck in barrier",
+                )
             release = bar.release_clock
             state.clock = max(state.clock, release)
             return release
@@ -446,6 +416,7 @@ def run_mpi(
     faults: FaultPlan | None = None,
     sched_jitter: Callable[[], None] | None = None,
     checksums: bool = False,
+    scheduler: str | None = None,
 ) -> list[Any]:
     """One-shot convenience wrapper: build a cluster, run ``fn``, return results."""
     cluster = SimCluster(
@@ -455,5 +426,6 @@ def run_mpi(
         faults=faults,
         sched_jitter=sched_jitter,
         checksums=checksums,
+        scheduler=scheduler,
     )
     return cluster.run(fn, *args, per_rank_args=per_rank_args)

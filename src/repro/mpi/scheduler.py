@@ -1,0 +1,396 @@
+"""Execution backends for :class:`~repro.mpi.runtime.SimCluster`.
+
+The simulated cluster runs every rank's program on its own OS thread (rank
+programs are ordinary blocking Python functions, so each needs its own
+stack).  *How* those threads are interleaved is this module's job, and the
+two backends make opposite trade-offs:
+
+:class:`EventScheduler` (the default)
+    Event-driven cooperative scheduling: exactly one rank thread is
+    runnable at any instant, and control is baton-passed directly between
+    rank threads through per-task :class:`threading.Event` objects.  There
+    is no shared lock to contend on, no condition-variable broadcast, and
+    no polling -- a blocked rank sleeps until the event that can actually
+    unblock it (its message delivery, its barrier's completion) puts it
+    back on the run queue.  Deadlock detection is *exact*: the moment the
+    run queue empties while unfinished ranks remain blocked, a
+    :class:`~repro.mpi.errors.DeadlockError` is raised immediately -- no
+    wall-clock timeout is ever waited out.
+
+:class:`ThreadedScheduler`
+    The preemptive original: all rank threads run concurrently under the
+    GIL, blocked ranks wait on one shared condition variable with a 50 ms
+    re-check poll, and deadlock is inferred from a real-time inactivity
+    watchdog.  It is kept because its host-level nondeterminism is a
+    *feature* for the schedule-fuzzing conformance suites: the
+    ``sched_jitter`` hook perturbs genuine thread races to prove virtual
+    time results are schedule-independent.  The event backend has no such
+    races to perturb, so fuzzing defaults to this backend.
+
+Both backends drive the same virtual-clock/mailbox/barrier machinery in
+:mod:`repro.mpi.runtime`, and both must produce bit-identical virtual
+results -- the cross-backend conformance suite in
+``tests/mpi/test_scheduler.py`` holds them to that.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from .errors import DeadlockError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .runtime import SimCluster
+
+__all__ = [
+    "EventScheduler",
+    "SCHEDULERS",
+    "SchedulerBackend",
+    "ThreadedScheduler",
+    "make_scheduler",
+    "resolve_scheduler_name",
+]
+
+#: Recognized ``SimCluster(scheduler=...)`` values.
+SCHEDULERS = ("event", "threads")
+
+
+class _NullGuard:
+    """Stand-in lock for the cooperative backend.
+
+    With exactly one runnable rank thread, cluster state needs no mutual
+    exclusion; the guard object only preserves the ``with`` structure of
+    the runtime code shared with the threaded backend.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullGuard":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+class SchedulerBackend:
+    """Interface the runtime uses to run, block, and wake rank threads.
+
+    The runtime enters ``guard()`` around every cluster-state mutation,
+    calls ``wait`` to block the calling rank until a readiness probe
+    succeeds, and calls ``notify`` after any state change that could
+    unblock the named ranks.  ``wait``/``notify`` are always invoked with
+    the guard held.
+    """
+
+    name: str
+
+    def execute(self, runner: Callable[[int], None], nprocs: int) -> None:
+        """Run ``runner(rank)`` for every rank to completion."""
+        raise NotImplementedError
+
+    def guard(self) -> Any:
+        """Context manager protecting cluster state."""
+        raise NotImplementedError
+
+    def wait(
+        self,
+        rank: int,
+        ready: Callable[[], Any],
+        describe: Callable[[], str],
+    ) -> Any:
+        """Block ``rank`` until ``ready()`` returns non-``None``; return it.
+
+        ``describe`` renders the deadlock diagnostic naming what the rank
+        is stuck on; it is only called when a deadlock is declared.
+        """
+        raise NotImplementedError
+
+    def notify(self, ranks: Iterable[int] | None = None) -> None:
+        """Record progress that may unblock ``ranks`` (``None`` = anyone)."""
+        raise NotImplementedError
+
+
+class ThreadedScheduler(SchedulerBackend):
+    """Preemptive thread-per-rank execution (the legacy backend).
+
+    All ranks run concurrently; a blocked rank re-checks its readiness
+    probe whenever the shared progress counter moves, or every
+    ``poll`` seconds.  Deadlock is detected by the real-time watchdog:
+    ``deadlock_timeout`` seconds of global inactivity with every
+    unfinished rank blocked.  Precision is traded away for genuine host
+    nondeterminism, which the schedule-fuzz suites rely on.
+    """
+
+    name = "threads"
+
+    def __init__(
+        self, cluster: "SimCluster", deadlock_timeout: float, poll: float = 0.05
+    ) -> None:
+        self._cluster = cluster
+        self.deadlock_timeout = deadlock_timeout
+        self.poll = poll
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._progress = 0  # bumped on every event that could unblock a waiter
+
+    def guard(self) -> Any:
+        return self._cond
+
+    def execute(self, runner: Callable[[int], None], nprocs: int) -> None:
+        threads = [
+            threading.Thread(target=runner, args=(r,), name=f"sim-rank-{r}", daemon=True)
+            for r in range(nprocs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def notify(self, ranks: Iterable[int] | None = None) -> None:
+        # Wakeups are broadcast: precision is impossible without knowing
+        # which host thread holds which wait, so every waiter re-checks.
+        self._progress += 1
+        self._cond.notify_all()
+
+    def wait(
+        self,
+        rank: int,
+        ready: Callable[[], Any],
+        describe: Callable[[], str],
+    ) -> Any:
+        cluster = self._cluster
+        state = cluster.state(rank)
+        waited = 0.0
+        while True:
+            cluster._check_abort()
+            value = ready()
+            if value is not None:
+                return value
+            snapshot = self._progress
+            state.blocked = True
+            try:
+                self._cond.wait(timeout=self.poll)
+            finally:
+                state.blocked = False
+            if self._progress != snapshot:
+                waited = 0.0
+                continue
+            waited += self.poll
+            if waited >= self.deadlock_timeout and cluster._all_stuck(state):
+                reason = describe()
+                cluster._aborted = True
+                cluster._abort_reason = reason
+                self._cond.notify_all()
+                raise DeadlockError(reason)
+
+
+class _Task:
+    """Cooperative-scheduling bookkeeping for one rank thread."""
+
+    __slots__ = ("rank", "event", "finished", "blocked", "queued", "describe", "victim")
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.event = threading.Event()
+        self.finished = False
+        self.blocked = False   # parked in wait(), not on the run queue
+        self.queued = False    # on the run queue awaiting the baton
+        self.describe: Callable[[], str] | None = None
+        self.victim = False    # designated to raise DeadlockError on resume
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            f
+            for f, on in (
+                ("F", self.finished),
+                ("B", self.blocked),
+                ("Q", self.queued),
+            )
+            if on
+        )
+        return f"_Task(rank={self.rank}, {flags or 'running'})"
+
+
+class EventScheduler(SchedulerBackend):
+    """Event-driven cooperative execution of the rank threads.
+
+    Invariant: at most one rank thread executes at any moment.  The baton
+    is handed directly from the thread that blocks (or finishes) to the
+    head of the FIFO run queue via that task's private event -- the only
+    synchronization primitive in the whole backend.  Consequences:
+
+    * cluster state needs no lock (``guard()`` is a no-op);
+    * wakeups are precise: ``notify`` enqueues exactly the ranks that a
+      delivery or barrier completion could unblock, and nobody else runs;
+    * deadlock detection is exact and free: when a rank blocks (or
+      finishes) with an empty run queue while unfinished ranks remain,
+      *no* future event can occur -- eager sends never block, so every
+      possible wakeup source is itself blocked.  The detecting waiter
+      raises :class:`DeadlockError` on the spot and the abort cascade
+      releases the rest.  The wall-clock watchdog and its 50 ms polls are
+      gone entirely.
+
+    The run-queue order is deterministic (seeded in rank order, appended
+    in notification order), so execution -- and therefore every virtual
+    outcome -- is bit-for-bit reproducible run over run.
+    """
+
+    name = "event"
+
+    def __init__(self, cluster: "SimCluster") -> None:
+        self._cluster = cluster
+        self._guard = _NullGuard()
+        self._tasks: list[_Task] = []
+        self._run_queue: deque[int] = deque()
+        self._done = threading.Event()
+
+    def guard(self) -> Any:
+        return self._guard
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def execute(self, runner: Callable[[int], None], nprocs: int) -> None:
+        self._tasks = [_Task(r) for r in range(nprocs)]
+        self._run_queue = deque(range(nprocs))
+        for task in self._tasks:
+            task.queued = True
+        self._done.clear()
+        threads = [
+            threading.Thread(
+                target=self._task_main,
+                args=(task, runner),
+                name=f"sim-rank-{task.rank}",
+                daemon=True,
+            )
+            for task in self._tasks
+        ]
+        for t in threads:
+            t.start()
+        self._pass_baton()  # hand control to rank 0; all switching is task-to-task
+        self._done.wait()
+        for t in threads:
+            t.join()
+
+    def _task_main(self, task: _Task, runner: Callable[[int], None]) -> None:
+        task.event.wait()  # first baton
+        try:
+            runner(task.rank)
+        finally:
+            task.finished = True
+            task.blocked = False
+            self._pass_baton()
+
+    # ------------------------------------------------------------------ #
+    # Blocking and wakeups
+    # ------------------------------------------------------------------ #
+
+    def notify(self, ranks: Iterable[int] | None = None) -> None:
+        tasks = self._tasks if ranks is None else (self._tasks[r] for r in ranks)
+        for task in tasks:
+            if task.blocked and not task.queued:
+                task.queued = True
+                self._run_queue.append(task.rank)
+
+    def wait(
+        self,
+        rank: int,
+        ready: Callable[[], Any],
+        describe: Callable[[], str],
+    ) -> Any:
+        cluster = self._cluster
+        task = self._tasks[rank]
+        state = cluster.state(rank)
+        while True:
+            if task.victim:
+                task.victim = False
+                raise DeadlockError(cluster._abort_reason or "deadlock")
+            cluster._check_abort()
+            value = ready()
+            if value is not None:
+                return value
+            task.describe = describe
+            task.event.clear()
+            task.blocked = True
+            state.blocked = True
+            if not self._run_queue and self._everyone_stuck():
+                # Exact deadlock: this rank just blocked, nobody is
+                # runnable, and blocked ranks cannot generate events.
+                task.blocked = False
+                state.blocked = False
+                reason = describe()
+                cluster._aborted = True
+                cluster._abort_reason = reason
+                self.notify()  # queue the others; they resume after we raise
+                raise DeadlockError(reason)
+            self._pass_baton()
+            task.event.wait()
+            task.blocked = False
+            state.blocked = False
+
+    def _everyone_stuck(self) -> bool:
+        return all(t.finished or t.blocked for t in self._tasks)
+
+    def _pass_baton(self) -> None:
+        """Hand control to the next runnable task, or wind the run down."""
+        while self._run_queue:
+            task = self._tasks[self._run_queue.popleft()]
+            task.queued = False
+            if task.finished:  # finished while queued (abort races cannot
+                continue       # happen, but stay defensive)
+            task.event.set()
+            return
+        if all(t.finished for t in self._tasks):
+            self._done.set()
+            return
+        # A task finished (or aborted) leaving only blocked ranks behind:
+        # that is a deadlock unless an abort is already draining them.
+        cluster = self._cluster
+        if not cluster._aborted:
+            victim = next(t for t in self._tasks if not t.finished)
+            reason = (
+                victim.describe()
+                if victim.describe is not None
+                else f"deadlock: rank {victim.rank} blocked with no runnable ranks"
+            )
+            cluster._aborted = True
+            cluster._abort_reason = reason
+            victim.victim = True
+        self.notify()
+        if self._run_queue:
+            self._pass_baton()
+        else:  # pragma: no cover - unreachable: unfinished implies blocked
+            self._done.set()
+
+
+def resolve_scheduler_name(
+    scheduler: str | None, sched_jitter: Callable[[], None] | None
+) -> str:
+    """Pick the backend: explicit choice wins; jitter fuzzing needs threads.
+
+    The event backend's interleaving is deterministic by construction, so
+    a ``sched_jitter`` hook would have nothing to perturb -- when the hook
+    is armed and no backend was named, the preemptive backend (whose host
+    races the hook exists to aggravate) is selected.
+    """
+    if scheduler is None:
+        return "threads" if sched_jitter is not None else "event"
+    if scheduler not in SCHEDULERS:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+        )
+    return scheduler
+
+
+def make_scheduler(
+    name: str, cluster: "SimCluster", deadlock_timeout: float
+) -> SchedulerBackend:
+    """Instantiate the named backend for ``cluster``."""
+    if name == "event":
+        return EventScheduler(cluster)
+    if name == "threads":
+        return ThreadedScheduler(cluster, deadlock_timeout)
+    raise ValueError(f"unknown scheduler {name!r}; expected one of {SCHEDULERS}")

@@ -1,0 +1,487 @@
+"""Cross-backend conformance suite for the execution schedulers.
+
+The ``event`` and ``threads`` backends make opposite host-level trade-offs
+(cooperative baton-passing vs preemptive polling), but the contract is that
+*virtual* outcomes are bit-identical: clocks, results, traces, fault and
+recovery behaviour.  Every scenario here runs on both backends and compares
+field by field; the exact-deadlock tests additionally pin down the event
+backend's headline property -- deadlock surfaces immediately instead of
+after a 10 s wall-clock watchdog.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import pytest
+
+from repro.apps.average import make_average_fn
+from repro.core import ICPlatform, PlatformConfig
+from repro.core.bsp import run_bsp
+from repro.graphs import hex32
+from repro.mpi import (
+    IDEAL,
+    CommAbortedError,
+    DeadlockError,
+    FaultPlan,
+    Mailbox,
+    Message,
+    SimCluster,
+    run_mpi,
+)
+from repro.mpi.communicator import Communicator
+from repro.mpi.scheduler import resolve_scheduler_name
+from repro.partitioning import MetisLikePartitioner
+
+BACKENDS = ("event", "threads")
+
+
+# --------------------------------------------------------------------- #
+# Backend selection
+# --------------------------------------------------------------------- #
+
+
+class TestBackendSelection:
+    def test_default_is_event(self):
+        assert SimCluster(2).scheduler == "event"
+
+    def test_jitter_defaults_to_threads(self):
+        """Schedule fuzzing perturbs host races; the event backend has
+        none, so an armed jitter hook flips the default."""
+        assert SimCluster(2, sched_jitter=lambda: None).scheduler == "threads"
+
+    def test_explicit_choice_wins_over_jitter(self):
+        cluster = SimCluster(2, sched_jitter=lambda: None, scheduler="event")
+        assert cluster.scheduler == "event"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            SimCluster(2, scheduler="fibers")
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            resolve_scheduler_name("green-threads", None)
+
+
+# --------------------------------------------------------------------- #
+# Cross-backend conformance: identical virtual outcomes
+# --------------------------------------------------------------------- #
+
+
+def _bsp_prog(comm):
+    def step(superstep, state, inbox, c):
+        total = state + sum(inbox)
+        out = [
+            ((c.rank + 1) % c.size, c.rank * 100 + superstep),
+            ((c.rank + 2) % c.size, superstep),
+        ]
+        c.work((c.rank + 1) * 1e-4)
+        return total, out, superstep < 8
+
+    final, steps = run_bsp(comm, step, 0, max_supersteps=12)
+    return final, steps, comm.Wtime()
+
+
+class TestCrossBackendConformance:
+    def test_bsp_program_identical(self):
+        results = {
+            backend: run_mpi(_bsp_prog, 5, machine=IDEAL, scheduler=backend)
+            for backend in BACKENDS
+        }
+        assert results["event"] == results["threads"]
+
+    def test_bsp_with_faults_identical(self):
+        """Fault decisions are drawn per rank in program order, so delay,
+        drop/retry, and crash outcomes must not depend on the backend."""
+        plan = FaultPlan.parse(
+            "seed=11,delay=0.2:0.002,drop=0.1,retry=12:1e-4,crash=1@4"
+        )
+
+        def prog(comm):
+            def step(superstep, state, inbox, c):
+                out = [((c.rank + 1) % c.size, c.rank + superstep)]
+                return state + sum(inbox), out, superstep < 6
+
+            final, steps = run_bsp(comm, step, 0, max_supersteps=10, checkpoint_every=2)
+            return final, steps, comm.Wtime()
+
+        results = {
+            backend: run_mpi(prog, 4, faults=plan, scheduler=backend)
+            for backend in BACKENDS
+        }
+        assert results["event"] == results["threads"]
+
+    def _platform_run(self, config, faults, backend):
+        graph = hex32()
+        partition = MetisLikePartitioner(seed=0).partition(graph, 4)
+        platform = ICPlatform(graph, make_average_fn(1e-4), config=config)
+        return platform.run(
+            partition,
+            faults=FaultPlan.parse(faults) if faults else None,
+            scheduler=backend,
+        )
+
+    def _assert_platform_identical(self, config, faults=None):
+        results = {
+            backend: self._platform_run(config, faults, backend)
+            for backend in BACKENDS
+        }
+        event, threads = results["event"], results["threads"]
+        assert event.elapsed == threads.elapsed
+        assert event.values == threads.values
+        assert event.final_assignment == threads.final_assignment
+        assert event.trace.records == threads.trace.records
+        assert [p.as_dict() for p in event.phases] == [
+            p.as_dict() for p in threads.phases
+        ]
+        return event
+
+    def test_platform_fault_free_identical(self):
+        self._assert_platform_identical(
+            PlatformConfig(iterations=4, track_trace=True)
+        )
+
+    def test_platform_crash_shrink_identical(self):
+        """The shrink-recovery acceptance scenario -- failure detection,
+        survivor re-ranking, quarantine, checkpoint hand-off, and
+        redistribution -- plays out identically on both backends."""
+        event = self._assert_platform_identical(
+            PlatformConfig(
+                iterations=8,
+                checkpoint_period=3,
+                recovery_policy="shrink",
+                track_trace=True,
+            ),
+            faults="seed=3,crash=2@5",
+        )
+        assert event.dead_ranks == (2,)
+        assert event.trace.reconfiguration_events()
+
+    def test_platform_integrity_repair_identical(self):
+        """Checksummed transport + shadow-replica repair of a boundary-node
+        memory flip: the priced NACK/retransmit rounds and the repair event
+        land on the same virtual clocks on both backends."""
+        graph = hex32()
+        assignment = MetisLikePartitioner(seed=0).partition(graph, 4).assignment
+        gid = next(
+            g
+            for g in sorted(graph.nodes())
+            if assignment[g - 1] == 1
+            and any(assignment[m - 1] != 1 for m in graph.neighbors(g))
+        )
+        event = self._assert_platform_identical(
+            PlatformConfig(iterations=8, integrity="full", track_trace=True),
+            faults=f"seed=11,flipmsg=0.05,flip=1@4:{gid}",
+        )
+        assert event.repairs == 1
+        assert event.recoveries == 0
+
+
+# --------------------------------------------------------------------- #
+# Exact deadlock detection (event backend)
+# --------------------------------------------------------------------- #
+
+
+class TestExactDeadlock:
+    def test_recv_cycle_detected_immediately(self):
+        """A two-rank receive cycle must surface well under 1 s of real
+        time even with the default 10 s watchdog budget -- the event
+        backend proves the deadlock from its run queue, it never waits."""
+
+        def stuck(comm):
+            peer = 1 - comm.rank
+            comm.recv(source=peer, tag=9)
+
+        start = time.perf_counter()
+        with pytest.raises(DeadlockError, match="tag=9"):
+            run_mpi(stuck, 2, scheduler="event")
+        assert time.perf_counter() - start < 1.0
+
+    def test_partial_barrier_detected_immediately(self):
+        def stuck(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=5)  # never sent
+            else:
+                comm.barrier()
+
+        start = time.perf_counter()
+        with pytest.raises(DeadlockError, match="deadlock"):
+            run_mpi(stuck, 3, scheduler="event")
+        assert time.perf_counter() - start < 1.0
+
+    def test_finisher_detected_deadlock(self):
+        """Deadlock discovered by a *finishing* rank (the waiters blocked
+        while it was still runnable): the lowest blocked rank is picked as
+        the victim and raises; its peers get the abort cascade."""
+
+        def prog(comm):
+            if comm.rank == 2:
+                return "done"  # finishes instantly, leaving 0 and 1 stuck
+            comm.recv(source=2, tag=7)
+
+        start = time.perf_counter()
+        with pytest.raises(DeadlockError, match="tag=7"):
+            run_mpi(prog, 3, scheduler="event")
+        assert time.perf_counter() - start < 1.0
+
+    def test_peers_get_comm_aborted(self):
+        errors = {}
+
+        def stuck(comm):
+            try:
+                comm.recv(source=(comm.rank + 1) % 3, tag=4)
+            except BaseException as exc:  # noqa: BLE001 - recording for assert
+                errors[comm.rank] = type(exc).__name__
+                raise
+
+        with pytest.raises(DeadlockError):
+            run_mpi(stuck, 3, scheduler="event")
+        assert sorted(errors.values()) == [
+            "CommAbortedError",
+            "CommAbortedError",
+            "DeadlockError",
+        ]
+
+    def test_threads_backend_still_uses_watchdog(self):
+        """The legacy watchdog path stays intact (short timeout here)."""
+
+        def stuck(comm):
+            comm.recv(source=1 - comm.rank, tag=9)
+
+        with pytest.raises(DeadlockError, match="tag=9"):
+            run_mpi(stuck, 2, scheduler="threads", deadlock_timeout=0.3)
+
+
+# --------------------------------------------------------------------- #
+# Barrier keyed by (comm_id, group)
+# --------------------------------------------------------------------- #
+
+
+class TestBarrierGroupKeying:
+    def test_same_comm_id_disjoint_groups_do_not_cross_release(self):
+        """Two hand-built sub-communicators sharing a channel id: their
+        barriers must rendezvous independently.  Keyed only by comm_id,
+        the first two arrivals (one from each pair) would release each
+        other and the release clock would blend the two groups."""
+
+        def prog(comm):
+            cluster = comm._cluster
+            world = comm.rank
+            group = (0, 1) if world < 2 else (2, 3)
+            sub = Communicator(cluster, world, group, comm_id=99)
+            if world == 2:
+                comm.work(1.0)  # only group B's release clock may see this
+            sub.barrier()
+            return round(comm.Wtime(), 9)
+
+        times = run_mpi(prog, 4, machine=IDEAL, scheduler="event")
+        # Group A (ranks 0, 1) never waits on rank 2's big charge...
+        assert times[0] == times[1] < 0.5
+        # ...while group B's release clock includes it.
+        assert times[2] == times[3] >= 1.0
+
+    def test_identical_on_both_backends(self):
+        def prog(comm):
+            cluster = comm._cluster
+            world = comm.rank
+            group = (0, 1) if world < 2 else (2, 3)
+            sub = Communicator(cluster, world, group, comm_id=99)
+            comm.work((world + 1) * 1e-3)
+            sub.barrier()
+            return comm.Wtime()
+
+        results = {
+            backend: run_mpi(prog, 4, machine=IDEAL, scheduler=backend)
+            for backend in BACKENDS
+        }
+        assert results["event"] == results["threads"]
+
+
+# --------------------------------------------------------------------- #
+# Multi-rank failure aggregation
+# --------------------------------------------------------------------- #
+
+
+class TestErrorAggregation:
+    @pytest.mark.skipif(sys.version_info < (3, 11), reason="needs add_note")
+    def test_second_failure_attached_as_note(self):
+        """Two ranks with *independent* original bugs: the first is
+        re-raised, the second is visible as a ``__notes__`` line instead
+        of being silently masked."""
+
+        def prog(comm):
+            # Ranks 1 and 2 fail before touching the transport again, so
+            # neither failure can be converted into an abort of the other.
+            if comm.rank == 1:
+                raise KeyError("rank1-bug")
+            if comm.rank == 2:
+                raise ValueError("rank2-bug")
+            try:
+                comm.recv(source=1, tag=0)
+            except CommAbortedError:
+                return "aborted"
+
+        with pytest.raises(KeyError, match="rank1-bug") as excinfo:
+            run_mpi(prog, 3, scheduler="event")
+        notes = "\n".join(getattr(excinfo.value, "__notes__", []))
+        assert "rank 2" in notes and "ValueError" in notes and "rank2-bug" in notes
+
+    def test_single_failure_has_no_notes(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise KeyError("solo")
+            try:
+                comm.recv(source=1, tag=0)
+            except CommAbortedError:
+                return "aborted"
+
+        with pytest.raises(KeyError, match="solo") as excinfo:
+            run_mpi(prog, 2, scheduler="event")
+        assert not getattr(excinfo.value, "__notes__", [])
+
+
+# --------------------------------------------------------------------- #
+# Event-backend robustness: reuse, abort, quarantine
+# --------------------------------------------------------------------- #
+
+
+class TestEventBackendRobustness:
+    def test_cluster_reusable_after_failure(self):
+        cluster = SimCluster(2, scheduler="event")
+
+        def bad(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom")
+            try:
+                comm.recv(source=0, tag=0)
+            except CommAbortedError:
+                return None
+
+        with pytest.raises(RuntimeError, match="boom"):
+            cluster.run(bad)
+
+        def good(comm):
+            comm.send(comm.rank, dest=1 - comm.rank, tag=1)
+            return comm.recv(source=1 - comm.rank, tag=1)
+
+        assert cluster.run(good) == [1, 0]
+
+    def test_cluster_reusable_after_deadlock(self):
+        cluster = SimCluster(2, scheduler="event")
+
+        def stuck(comm):
+            comm.recv(source=1 - comm.rank, tag=9)
+
+        with pytest.raises(DeadlockError):
+            cluster.run(stuck)
+
+        def good(comm):
+            comm.send("ok", dest=1 - comm.rank, tag=1)
+            return comm.recv(source=1 - comm.rank, tag=1)
+
+        assert cluster.run(good) == ["ok", "ok"]
+
+    def test_run_order_is_reproducible(self):
+        """The cooperative schedule itself is deterministic, so even
+        host-order-sensitive observations (here: global message sequence
+        numbers modulo an offset) repeat exactly run over run."""
+
+        def prog(comm):
+            order = []
+            for round_no in range(3):
+                comm.send((comm.rank, round_no), dest=(comm.rank + 1) % 3, tag=0)
+            for _ in range(3):
+                order.append(comm.recv(source=(comm.rank - 1) % 3, tag=0))
+            return order
+
+        cluster = SimCluster(3, scheduler="event")
+        first = cluster.run(prog)
+        for _ in range(3):
+            assert cluster.run(prog) == first
+
+
+# --------------------------------------------------------------------- #
+# Mailbox index unit tests
+# --------------------------------------------------------------------- #
+
+
+def _msg(src, tag, arrival, comm_id=0, payload=None):
+    return Message(
+        src=src,
+        dest=0,
+        tag=tag,
+        comm_id=comm_id,
+        payload=payload if payload is not None else (src, tag, arrival),
+        nbytes=8,
+        send_time=0.0,
+        arrival_time=arrival,
+    )
+
+
+class TestMailbox:
+    def test_fifo_within_stream(self):
+        box = Mailbox()
+        first, second = _msg(1, 5, 2.0), _msg(1, 5, 1.0)
+        box.append(first)
+        box.append(second)  # later arrival queued behind earlier send
+        assert box.take(1, 5, 0) is first
+        assert box.take(1, 5, 0) is second
+        assert box.take(1, 5, 0) is None
+
+    def test_any_tag_follows_send_order(self):
+        box = Mailbox()
+        a, b = _msg(1, 7, 1.0), _msg(1, 3, 2.0)
+        box.append(a)  # injected first -> lower seq
+        box.append(b)
+        assert box.take(1, -1, 0) is a
+        assert box.take(1, -1, 0) is b
+
+    def test_any_source_picks_earliest_arrival(self):
+        box = Mailbox()
+        late, early = _msg(1, 0, 5.0), _msg(2, 0, 1.0)
+        box.append(late)
+        box.append(early)
+        assert box.take(-1, 0, 0) is early
+        assert box.take(-1, 0, 0) is late
+
+    def test_any_source_arrival_tie_breaks_on_src(self):
+        box = Mailbox()
+        from_two, from_one = _msg(2, 0, 1.0), _msg(1, 0, 1.0)
+        box.append(from_two)
+        box.append(from_one)
+        assert box.take(-1, 0, 0) is from_one
+
+    def test_comm_isolation(self):
+        box = Mailbox()
+        box.append(_msg(1, 0, 1.0, comm_id=7))
+        assert box.take(1, 0, 0) is None
+        assert box.take(1, 0, 7) is not None
+
+    def test_peek_does_not_consume(self):
+        box = Mailbox()
+        msg = _msg(1, 0, 1.0)
+        box.append(msg)
+        assert box.take(1, 0, 0, consume=False) is msg
+        assert len(box) == 1
+        assert box.take(1, 0, 0) is msg
+        assert len(box) == 0 and not box
+
+    def test_purge_counts_and_isolates(self):
+        box = Mailbox()
+        for arrival in (1.0, 2.0):
+            box.append(_msg(1, 0, arrival))
+        box.append(_msg(2, 0, 3.0))
+        box.append(_msg(1, 0, 9.0, comm_id=5))
+        assert box.purge(0, {1}) == 2
+        assert len(box) == 2
+        assert box.take(1, 0, 0) is None  # purged
+        assert box.take(2, 0, 0) is not None  # untouched peer
+        assert box.take(1, 0, 5) is not None  # untouched comm
+        assert box.purge(0, {1, 2}) == 0  # idempotent / empty
+
+    def test_iter_and_clear(self):
+        box = Mailbox()
+        for src in (1, 2, 3):
+            box.append(_msg(src, src, float(src)))
+        assert {m.src for m in box} == {1, 2, 3}
+        box.clear()
+        assert len(box) == 0 and list(box) == []
