@@ -1,0 +1,271 @@
+"""Change-driven execution benchmark: dense vs sparse (delta) exchange.
+
+Measures, for each workload and activation mode, three independent axes:
+
+* **messages** -- point-to-point messages the simulated cluster delivered
+  (the delta exchange's headline: unchanged shadow values are never re-sent
+  and empty sends are elided entirely);
+* **virtual seconds** -- the platform's simulated makespan (active-set
+  computation charges update/compute cost only for recomputed nodes);
+* **wall seconds** -- real host time (best of ``REPEATS``), the Python-side
+  saving from actually skipping the skipped work.
+
+Workloads:
+
+``diffusion``
+    A quantized weighted-Jacobi relaxation on the 8x8 hot-edge plate, run
+    well past its fixed point -- the converging workload where the change
+    frontier collapses and the delta exchange goes quiet.  Modes: dense,
+    sparse, and sparse + quiescence termination (which additionally stops
+    the run early instead of idling at the fixed point).
+``battlefield``
+    The two-round battlefield simulator -- a non-converging, multi-round
+    application included to pin value-identity and to measure the
+    worst-case frontier-maintenance overhead when every node keeps
+    changing (no acceptance floor: the delta machinery cannot win here).
+
+Acceptance (enforced by ``_check``): every mode's final values are
+bit-identical to dense; on the diffusion workload the sparse mode delivers
+at least ``MIN_MESSAGE_REDUCTION``x fewer messages and strictly less
+virtual *and* wall time than dense; quiescence actually fires.
+
+Run standalone (writes ``benchmarks/results/BENCH_sparse.json``)::
+
+    PYTHONPATH=src python benchmarks/sparse_exchange.py          # full
+    PYTHONPATH=src python benchmarks/sparse_exchange.py --quick  # CI smoke
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/sparse_exchange.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.apps.battlefield import BattlefieldApp, general_engagement
+from repro.apps.diffusion import hot_edge_plate, make_jacobi_fn
+from repro.core import ICPlatform, PlatformConfig
+from repro.partitioning import MetisLikePartitioner
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Wall-clock repeats per (workload, mode); best-of is reported.
+REPEATS = 3
+
+#: Acceptance floor: dense must deliver at least this many times more
+#: messages than sparse on the converging diffusion workload.
+MIN_MESSAGE_REDUCTION = 2.0
+
+
+# --------------------------------------------------------------------- #
+# Workloads
+# --------------------------------------------------------------------- #
+
+
+def _diffusion(activation: str, converge: str, quick: bool):
+    """Quantized Jacobi on the hot-edge plate, run past its fixed point."""
+    graph, boundary, init = hot_edge_plate(8, 8)
+    partition = MetisLikePartitioner(seed=0).partition(graph, 4)
+    config = PlatformConfig(
+        iterations=250 if quick else 400,
+        activation=activation,
+        converge=converge,
+    )
+    platform = ICPlatform(
+        graph, make_jacobi_fn(boundary, quantize=4), init_value=init, config=config
+    )
+    return platform.run(partition)
+
+
+def _battlefield(activation: str, converge: str, quick: bool):
+    """Two-round battlefield simulator on the Metis partition, 8 ranks."""
+    app = BattlefieldApp(general_engagement())
+    graph = app.graph()
+    partition = MetisLikePartitioner(seed=0, trials=4).partition(graph, 8)
+    platform = ICPlatform(
+        graph,
+        app.node_fns(),
+        init_value=app.init_value,
+        config=app.platform_config(
+            steps=2 if quick else 10, activation=activation, converge=converge
+        ),
+    )
+    return platform.run(partition)
+
+
+#: workload -> (runner, modes); a mode is (label, activation, converge).
+WORKLOADS = {
+    "diffusion": (
+        _diffusion,
+        (
+            ("dense", "dense", "fixed"),
+            ("sparse", "sparse", "fixed"),
+            ("sparse_quiesce", "sparse", "quiescence"),
+        ),
+    ),
+    "battlefield": (
+        _battlefield,
+        (
+            ("dense", "dense", "fixed"),
+            ("sparse", "sparse", "fixed"),
+        ),
+    ),
+}
+
+
+# --------------------------------------------------------------------- #
+# Measurement
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ModeStats:
+    """One (workload, mode) measurement."""
+
+    messages: int = 0
+    virtual_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    iterations: int = 0
+    quiesced_at: int | None = None
+    identical_to_dense: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "messages": self.messages,
+            "virtual_seconds": round(self.virtual_seconds, 6),
+            "wall_seconds": round(self.wall_seconds, 6),
+            "iterations": self.iterations,
+            "quiesced_at": self.quiesced_at,
+            "identical_to_dense": self.identical_to_dense,
+        }
+
+
+@dataclass
+class SparseExchangeResult:
+    quick: bool
+    workloads: dict[str, dict[str, ModeStats]] = field(default_factory=dict)
+
+    def message_reduction(self, workload: str) -> float:
+        modes = self.workloads[workload]
+        return modes["dense"].messages / max(1, modes["sparse"].messages)
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": "sparse_exchange",
+            "quick": self.quick,
+            "repeats": REPEATS,
+            "workloads": {
+                name: {label: stats.to_dict() for label, stats in modes.items()}
+                for name, modes in self.workloads.items()
+            },
+            "diffusion_message_reduction": round(
+                self.message_reduction("diffusion"), 3
+            ),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"Dense vs sparse (delta) exchange "
+            f"({'quick' if self.quick else 'full'}, best of {REPEATS})",
+            f"{'workload':<12} {'mode':<15} {'messages':>9} {'virtual (s)':>12}"
+            f" {'wall (s)':>9} {'identical':>10}",
+        ]
+        for name, modes in self.workloads.items():
+            for label, stats in modes.items():
+                quiesce = (
+                    f"  (quiesced @ {stats.quiesced_at})"
+                    if stats.quiesced_at is not None
+                    else ""
+                )
+                lines.append(
+                    f"{name:<12} {label:<15} {stats.messages:>9}"
+                    f" {stats.virtual_seconds:>12.4f} {stats.wall_seconds:>9.4f}"
+                    f" {str(stats.identical_to_dense):>10}{quiesce}"
+                )
+        lines.append(
+            f"diffusion message reduction: "
+            f"{self.message_reduction('diffusion'):.2f}x"
+        )
+        return "\n".join(lines)
+
+
+def run(results_dir: Path = RESULTS_DIR, quick: bool = False) -> SparseExchangeResult:
+    result = SparseExchangeResult(quick=quick)
+    for name, (runner, modes) in WORKLOADS.items():
+        stats_by_label: dict[str, ModeStats] = {}
+        values_by_label: dict[str, list] = {}
+        for label, activation, converge in modes:
+            stats = ModeStats()
+            best = float("inf")
+            for _ in range(REPEATS):
+                start = time.perf_counter()
+                outcome = runner(activation, converge, quick)
+                best = min(best, time.perf_counter() - start)
+            stats.wall_seconds = best
+            stats.messages = outcome.messages_delivered
+            stats.virtual_seconds = outcome.elapsed
+            stats.iterations = outcome.iterations
+            stats.quiesced_at = outcome.quiesced_at
+            values_by_label[label] = sorted(outcome.values.items())
+            stats_by_label[label] = stats
+        for label, stats in stats_by_label.items():
+            stats.identical_to_dense = (
+                values_by_label[label] == values_by_label["dense"]
+            )
+        result.workloads[name] = stats_by_label
+    results_dir.mkdir(exist_ok=True)
+    payload = json.dumps(result.to_dict(), indent=2) + "\n"
+    (results_dir / "BENCH_sparse.json").write_text(payload)
+    (results_dir / "sparse_exchange.txt").write_text(result.render() + "\n")
+    return result
+
+
+def _check(result: SparseExchangeResult) -> list[str]:
+    """Acceptance checks; returns a list of failure messages."""
+    failures = []
+    for name, modes in result.workloads.items():
+        for label, stats in modes.items():
+            if not stats.identical_to_dense:
+                failures.append(f"{name}/{label}: values differ from dense")
+    diffusion = result.workloads["diffusion"]
+    reduction = result.message_reduction("diffusion")
+    if reduction < MIN_MESSAGE_REDUCTION:
+        failures.append(
+            f"diffusion: message reduction {reduction:.2f}x"
+            f" < {MIN_MESSAGE_REDUCTION}x"
+        )
+    if diffusion["sparse"].virtual_seconds >= diffusion["dense"].virtual_seconds:
+        failures.append(
+            f"diffusion: sparse virtual time"
+            f" {diffusion['sparse'].virtual_seconds:.4f}s not below dense"
+            f" {diffusion['dense'].virtual_seconds:.4f}s"
+        )
+    if diffusion["sparse"].wall_seconds >= diffusion["dense"].wall_seconds:
+        failures.append(
+            f"diffusion: sparse wall time {diffusion['sparse'].wall_seconds:.4f}s"
+            f" not below dense {diffusion['dense'].wall_seconds:.4f}s"
+        )
+    if diffusion["sparse_quiesce"].quiesced_at is None:
+        failures.append("diffusion: quiescence termination never fired")
+    return failures
+
+
+def test_sparse_exchange():
+    result = run()
+    print(f"\n{result.render()}\n")
+    failures = _check(result)
+    assert not failures, "; ".join(failures)
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv
+    outcome = run(quick=quick)
+    print(outcome.render())
+    problems = _check(outcome)
+    if problems:
+        raise SystemExit("FAIL: " + "; ".join(problems))

@@ -29,6 +29,7 @@ def make_jacobi_fn(
     boundary: Mapping[int, float],
     omega: float = 1.0,
     grain: float = NODE_GRAIN,
+    quantize: int | None = None,
 ) -> NodeFn:
     """Weighted-Jacobi node function for the graph Laplace equation.
 
@@ -40,6 +41,11 @@ def make_jacobi_fn(
         boundary: ``gid -> fixed value`` for boundary nodes.
         omega: Relaxation weight in (0, 1]; 1.0 is plain Jacobi.
         grain: Virtual compute seconds charged per update.
+        quantize: Round every update to this many decimal places.  Floats
+            asymptote toward the fixed point without ever exactly reaching
+            it; quantizing makes the iteration genuinely stationary, so
+            change-driven execution (``activation="sparse"``) sees the
+            frontier collapse and quiescence termination can fire.
     """
     if not 0.0 < omega <= 1.0:
         raise ValueError(f"omega must be in (0, 1], got {omega}")
@@ -53,7 +59,10 @@ def make_jacobi_fn(
         if not values:
             return node.value
         mean = sum(values) / len(values)
-        return (1.0 - omega) * node.value + omega * mean
+        result = (1.0 - omega) * node.value + omega * mean
+        if quantize is not None:
+            result = round(result, quantize)
+        return result
 
     return jacobi_fn
 

@@ -168,6 +168,48 @@ def cmd_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_with_host_profile(path: str, fn):
+    """Execute ``fn()`` with every host thread profiled; dump merged stats.
+
+    ``cProfile`` is per-thread, and the simulated cluster runs one OS
+    thread per rank -- so a profiler is bootstrapped into every new thread
+    via :func:`threading.setprofile` (the hook fires on the thread's first
+    call event and replaces itself with a thread-local ``cProfile.Profile``)
+    and the per-thread stats are merged with the main thread's at the end.
+    """
+    import cProfile
+    import pstats
+    import threading
+
+    profiles: list[cProfile.Profile] = []
+    lock = threading.Lock()
+
+    def bootstrap(frame, event, arg):
+        prof = cProfile.Profile()
+        with lock:
+            profiles.append(prof)
+        prof.enable()
+
+    main_prof = cProfile.Profile()
+    threading.setprofile(bootstrap)
+    try:
+        main_prof.enable()
+        result = fn()
+    finally:
+        main_prof.disable()
+        threading.setprofile(None)
+    stats = pstats.Stats(main_prof)
+    with lock:
+        for prof in profiles:
+            try:
+                stats.add(prof)
+            except Exception:
+                pass  # thread died before recording anything measurable
+    stats.dump_stats(path)
+    print(f"host profile  {path} ({len(profiles) + 1} threads merged)")
+    return result
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     graph = read_chaco(args.graph)
     if args.partition:
@@ -216,22 +258,43 @@ def cmd_run(args: argparse.Namespace) -> int:
         checkpoint_keep=args.checkpoint_keep,
         recovery_policy=args.recovery,
         integrity=args.integrity,
+        activation=args.activation,
+        converge=args.converge,
     )
     balancer = _BALANCERS[args.balancer](args.lb_threshold) if args.dynamic else None
     platform = ICPlatform(graph, node_fn, config=config, balancer=balancer)
-    result = platform.run(
-        partition,
-        machine=_MACHINES[args.machine],
-        faults=faults,
-        scheduler=args.scheduler,
-    )
+
+    def execute():
+        return platform.run(
+            partition,
+            machine=_MACHINES[args.machine],
+            faults=faults,
+            scheduler=args.scheduler,
+        )
+
+    if args.profile_host:
+        result = _run_with_host_profile(args.profile_host, execute)
+    else:
+        result = execute()
 
     print(f"graph         {graph.name} ({graph.num_nodes} nodes)")
     print(f"partition     {partition.method} (cut {partition.edge_cut()})")
     print(f"processors    {args.np}")
-    print(f"iterations    {args.iterations}")
+    print(f"iterations    {result.iterations}")
     print(f"machine       {args.machine}")
     print(f"elapsed       {result.elapsed:.6f} virtual seconds")
+    if args.activation != "dense":
+        print(f"activation    {args.activation}")
+        print(f"messages      {result.messages_delivered} delivered")
+    if args.converge == "quiescence":
+        if result.quiesced_at is not None:
+            saved = args.iterations - result.quiesced_at
+            print(
+                f"quiescence    reached at iteration {result.quiesced_at} "
+                f"({saved} of {args.iterations} iterations saved)"
+            )
+        else:
+            print(f"quiescence    not reached within {args.iterations} iterations")
     if args.dynamic:
         print(f"migrations    {len(result.migrations)}")
         if result.repartitions:
@@ -384,6 +447,17 @@ def build_parser() -> argparse.ArgumentParser:
                      default="migrate")
     run.add_argument("--overlap", action="store_true",
                      help="use the Figure-8a overlapped pipeline")
+    run.add_argument("--activation", choices=("dense", "sparse"), default="dense",
+                     help="sparse = change-driven execution: recompute only "
+                          "nodes whose neighbourhood changed, exchange only "
+                          "changed shadow values, elide empty sends")
+    run.add_argument("--converge", choices=("fixed", "quiescence"),
+                     default="fixed",
+                     help="quiescence = stop early once a global reduction "
+                          "sees an iteration in which no node's value changed")
+    run.add_argument("--profile-host", metavar="PATH",
+                     help="profile the host Python process (all rank threads) "
+                          "and dump merged cProfile stats to PATH")
     run.add_argument("--phases", action="store_true", help="print phase breakdown")
     run.add_argument("--faults",
                      help="deterministic fault-injection spec, e.g. "

@@ -202,7 +202,11 @@ def run_vertex_program(
         states = {
             gid: _VertexState(program.initial_value(gid, graph)) for gid in owned
         }
-        inboxes: dict[int, list[Any]] = {gid: [] for gid in owned}
+        # Sparse inboxes: only vertices with pending messages hold an entry,
+        # so the halted-vertex fast path below is a dict-membership test --
+        # no per-vertex empty-list churn on supersteps where most of the
+        # graph has gone quiet.
+        inboxes: dict[int, list[Any]] = {}
 
         def step(superstep, state, rank_inbox, comm_):
             # deliver messages that arrived last superstep
@@ -214,14 +218,13 @@ def run_vertex_program(
             active = False
             for gid in owned:
                 vstate = states[gid]
-                inbox = inboxes.get(gid, [])
-                if vstate.halted and not inbox:
+                if vstate.halted and gid not in inboxes:
                     continue
+                inbox = inboxes.pop(gid, [])
                 ctx = VertexContext(gid, superstep, graph.neighbors(gid))
                 if compute_grain:
                     comm_.work(compute_grain)
                 vstate.value = program.compute(vstate.value, inbox, ctx)
-                inboxes[gid] = []
                 vstate.halted = ctx._halted
                 if not ctx._halted:
                     active = True

@@ -9,13 +9,25 @@ packed into per-destination communication buffers as the sweep proceeds, so
 "by the time the computation routine returns, the communication buffers are
 all set up".
 
-Two pipelines are provided:
+Four pipelines are provided:
 
 * :func:`sweep_basic` -- Figure 8: internals, then peripherals (packing),
   commit, then ``Isend`` everything and blocking-receive the shadows.
 * :func:`sweep_overlapped` -- Figure 8a: peripherals first, ``Isend`` +
   ``Irecv``, internals computed *while the transfers are in flight*, then
   wait and unpack.
+* :func:`sweep_basic_delta` / :func:`sweep_overlapped_delta` -- the
+  change-driven variants (``--activation sparse``): only *active* nodes
+  (own or neighbour value changed since their last evaluation) are
+  recomputed, only *changed* peripheral values are packed, empty sends are
+  elided entirely, and receivers discover the actual sender set from the
+  mailbox after the sweep barrier (:class:`DeltaState` holds the per-round
+  active sets and the sweep-parity tag).
+
+The sparse pipelines assume the node function is *pure per round*: its
+return value depends only on the node's own and neighbours' values (cost
+charges may vary freely).  A skipped node then provably recomputes to its
+current value, so sparse results are value-identical to dense.
 """
 
 from __future__ import annotations
@@ -29,10 +41,27 @@ from .config import PlatformCosts
 from .node import OwnNode
 from .nodestore import NodeStore
 
-__all__ = ["NodeView", "ComputeContext", "NodeFn", "sweep_basic", "sweep_overlapped", "TAG_SHADOW"]
+__all__ = [
+    "NodeView",
+    "ComputeContext",
+    "DeltaState",
+    "NodeFn",
+    "sweep_basic",
+    "sweep_overlapped",
+    "sweep_basic_delta",
+    "sweep_overlapped_delta",
+    "TAG_SHADOW",
+    "TAG_SHADOW_DELTA",
+]
 
 #: Tag for shadow-exchange messages.
 TAG_SHADOW = 1
+
+#: Alternating tag pair for the delta shadow exchange.  The barrier between
+#: sweeps bounds rank skew to one sweep, so two tags suffice to keep a fast
+#: rank's next-sweep sends from matching a slow rank's current-sweep
+#: ``pending_sources`` query.
+TAG_SHADOW_DELTA = (5, 6)
 
 
 @dataclass(frozen=True)
@@ -79,6 +108,9 @@ class ComputeContext:
         self.compute_time = 0.0
         self.comm_overhead_time = 0.0
         self.bookkeeping_time = 0.0
+        #: Owned nodes whose committed value changed in the last sweep --
+        #: the quiescence-termination count (set by every sweep variant).
+        self.changed_last_sweep = 0
         #: Per-node compute seconds since the last reset -- measured node
         #: weights for load-aware repartitioning (window-scoped).
         self.node_compute: dict[int, float] = {}
@@ -159,8 +191,11 @@ def _pack_node(node: OwnNode, buffers: CommBuffers, ctx: ComputeContext) -> None
 
 
 def _commit(store: NodeStore, ctx: ComputeContext) -> None:
-    count = store.commit_owned()
-    ctx._bookkeeping(ctx.costs.update_cost * count)
+    changed = store.commit_owned()
+    ctx.changed_last_sweep = len(changed)
+    # Every owned node was recomputed, so every one pays the update charge
+    # (identical to the pre-delta cost model).
+    ctx._bookkeeping(ctx.costs.update_cost * store.num_owned())
 
 
 def _send_all(comm: Communicator, buffers: CommBuffers) -> list[int]:
@@ -250,3 +285,225 @@ def sweep_overlapped(
     for _, req in requests:
         records = req.wait()
         _unpack(store, records, ctx)
+
+
+# --------------------------------------------------------------------- #
+# Change-driven (delta / active-set) pipelines
+# --------------------------------------------------------------------- #
+
+
+class DeltaState:
+    """Per-rank state of the change-driven execution mode.
+
+    Holds one *dirty set* per communication round: the owned nodes whose
+    own or neighbour value changed since the start of that round's last
+    sweep.  ``None`` marks a round as *dense* -- every owned node computes
+    (the first iteration, and after any ownership change: migration,
+    repartition, shrink recovery, rollback to a version-less rebuild).
+
+    Per-round sets (rather than a single frontier) keep multi-round
+    applications like the battlefield simulation sound: round ``r``'s
+    function may move a value even when round ``r-1``'s left it alone, so a
+    node may only skip round ``r`` if nothing in its closed neighbourhood
+    changed since its last *round-r* evaluation.
+
+    ``parity`` indexes :data:`TAG_SHADOW_DELTA` and flips every sweep; it
+    advances in lockstep on all ranks (sweeps are collective), so it is
+    deliberately *not* checkpointed -- after a rollback the live value is
+    still synchronized, while the dirty sets are restored from the
+    checkpoint so the frontier does not resume empty.
+    """
+
+    def __init__(self, rounds: int) -> None:
+        self.rounds = rounds
+        self.parity = 0
+        self.dirty: list[set[int] | None] = [None] * rounds
+
+    def begin_sweep(self, round_idx: int) -> set[int] | None:
+        """Consume round ``round_idx``'s active set (None = dense sweep).
+
+        A fresh empty set replaces it, ready to collect the changes this
+        sweep produces.
+        """
+        active = self.dirty[round_idx]
+        self.dirty[round_idx] = set()
+        return active
+
+    def _touch(self, gid: int) -> None:
+        for dset in self.dirty:
+            if dset is not None:
+                dset.add(gid)
+
+    def record_commit(self, store: NodeStore, changed: list[int], ctx: ComputeContext) -> None:
+        """A committed owned value changed: it and its owned neighbours must
+        recompute in every round."""
+        cost = 0.0
+        for gid in changed:
+            self._touch(gid)
+            neighbors = store.graph.neighbors(gid)
+            for v in neighbors:
+                if store.owns(v):
+                    self._touch(v)
+            cost += ctx.costs.list_item_cost * (1 + len(neighbors))
+        if cost:
+            ctx._bookkeeping(cost)
+
+    def record_arrival(self, store: NodeStore, gid: int, ctx: ComputeContext) -> None:
+        """A shadow value changed: its owned neighbours must recompute."""
+        neighbors = store.graph.neighbors(gid)
+        for v in neighbors:
+            if store.owns(v):
+                self._touch(v)
+        ctx._bookkeeping(ctx.costs.list_item_cost * (1 + len(neighbors)))
+
+    def reset_dense(self) -> None:
+        """Fall back to dense sweeps for every round.
+
+        Called after any event that changes ownership or rebuilds stores
+        from bare values (migration, repartition, shrink recovery) -- a
+        dense round is a safe superset of any frontier, and purity makes
+        the extra evaluations value-neutral.
+        """
+        self.dirty = [None] * self.rounds
+
+    def capture(self) -> dict[str, Any]:
+        """Checkpoint payload: the dirty sets as deterministic lists."""
+        return {
+            "dirty": [sorted(d) if d is not None else None for d in self.dirty],
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Reinstate the frontier a checkpoint captured (rollback path)."""
+        self.dirty = [
+            set(d) if d is not None else None for d in state["dirty"]
+        ]
+
+
+def _active_nodes(
+    store: NodeStore, active: set[int] | None
+) -> tuple[list[OwnNode], list[OwnNode]]:
+    """The (internal, peripheral) nodes to compute this sweep, in gid order."""
+    if active is None:
+        return list(store.internal.values()), list(store.peripheral.values())
+    ordered = sorted(active)
+    internal = [store.internal[g] for g in ordered if g in store.internal]
+    peripheral = [store.peripheral[g] for g in ordered if g in store.peripheral]
+    return internal, peripheral
+
+
+def _pack_node_delta(node: OwnNode, buffers: CommBuffers, ctx: ComputeContext) -> None:
+    """Pack only if the freshly computed value differs from the committed
+    one -- receivers treat absent records as "shadow still current"."""
+    data = node.data
+    if data.most_recent_data is None or data.most_recent_data == data.data:
+        return
+    for proc in node.shadow_for_procs:
+        buffers.pack(proc, node.global_id, data.most_recent_data)
+        ctx._comm_overhead(ctx.costs.pack_cost)
+
+
+def _commit_delta(
+    store: NodeStore, ctx: ComputeContext, delta: DeltaState, active_count: int
+) -> None:
+    changed = store.commit_owned()
+    ctx.changed_last_sweep = len(changed)
+    # Only the recomputed nodes carry a pending value, so only they pay the
+    # update charge -- part of the sparse mode's virtual-time win.
+    ctx._bookkeeping(ctx.costs.update_cost * active_count)
+    delta.record_commit(store, changed, ctx)
+
+
+def _send_all_delta(comm: Communicator, buffers: CommBuffers, tag: int) -> None:
+    """Isend every nonempty buffer; empty sends are elided entirely (the
+    alpha saving -- no sender CPU, no wire cost, no receive to match)."""
+    for q in buffers.nonempty_procs():
+        comm.isend(tuple(buffers.outgoing(q)), q, tag=tag, nbytes=buffers.nbytes(q))
+
+
+def _unpack_delta(
+    store: NodeStore,
+    records: tuple[tuple[int, Any], ...],
+    ctx: ComputeContext,
+    delta: DeltaState,
+) -> None:
+    for gid, value in records:
+        if store.update_shadow(gid, value):
+            delta.record_arrival(store, gid, ctx)
+    ctx._comm_overhead(
+        len(records)
+        * (ctx.costs.unpack_cost + ctx.costs.unpack_scan_item_cost * ctx.num_nodes / 2)
+    )
+
+
+def sweep_basic_delta(
+    comm: Communicator,
+    store: NodeStore,
+    node_fn: NodeFn,
+    ctx: ComputeContext,
+    buffers: CommBuffers,
+    delta: DeltaState,
+) -> None:
+    """The Figure-8 sweep, change-driven.
+
+    Active nodes compute (internals then peripherals, gid order); only
+    changed peripheral values are packed and only nonempty buffers are
+    sent.  Elision breaks receive symmetry -- a rank can no longer post one
+    receive per graph neighbour -- so the sweep barrier doubles as the
+    delivery fence: afterwards the mailbox is asked which peers actually
+    sent this sweep's tag, and exactly those messages are received.
+    """
+    buffers.reset()
+    tag = TAG_SHADOW_DELTA[delta.parity]
+    delta.parity ^= 1
+    internal, peripheral = _active_nodes(store, delta.begin_sweep(ctx.round))
+    for node in internal:
+        _compute_node(store, node, node_fn, ctx)
+    for node in peripheral:
+        _compute_node(store, node, node_fn, ctx)
+        _pack_node_delta(node, buffers, ctx)
+    _commit_delta(store, ctx, delta, len(internal) + len(peripheral))
+
+    _send_all_delta(comm, buffers, tag)
+    # Delivery fence: every peer's sends of this sweep happen-before its
+    # barrier entry (sends are eagerly buffered), so after release the
+    # pending-sources query is deterministic.
+    comm.barrier()
+    sources = comm.pending_sources(tag)
+    ctx._comm_overhead(ctx.costs.recv_setup_cost * len(sources))
+    received = [comm.recv(source=q, tag=tag) for q in sources]
+    for records in received:
+        _unpack_delta(store, records, ctx, delta)
+
+
+def sweep_overlapped_delta(
+    comm: Communicator,
+    store: NodeStore,
+    node_fn: NodeFn,
+    ctx: ComputeContext,
+    buffers: CommBuffers,
+    delta: DeltaState,
+) -> None:
+    """The Figure-8a sweep, change-driven.
+
+    Active peripherals compute and dispatch first; active internals compute
+    while the (changed-only) shadow messages are in flight; the barrier
+    then fences delivery and the discovered senders are drained.
+    """
+    buffers.reset()
+    tag = TAG_SHADOW_DELTA[delta.parity]
+    delta.parity ^= 1
+    internal, peripheral = _active_nodes(store, delta.begin_sweep(ctx.round))
+    for node in peripheral:
+        _compute_node(store, node, node_fn, ctx)
+        _pack_node_delta(node, buffers, ctx)
+    _send_all_delta(comm, buffers, tag)
+
+    for node in internal:
+        _compute_node(store, node, node_fn, ctx)
+    _commit_delta(store, ctx, delta, len(internal) + len(peripheral))
+
+    comm.barrier()
+    sources = comm.pending_sources(tag)
+    ctx._comm_overhead(ctx.costs.recv_setup_cost * len(sources))
+    for q in sources:
+        _unpack_delta(store, comm.recv(source=q, tag=tag), ctx, delta)

@@ -149,6 +149,19 @@ class PlatformConfig:
             flip detected late
             has contaminated downstream state, so recovery falls back to a
             rollback past the injection point regardless of replicas.
+        activation: Which owned nodes each sweep recomputes: ``"dense"``
+            (every owned node, every sweep -- the thesis's behaviour) or
+            ``"sparse"`` (change-driven: a node is recomputed only when its
+            own or a neighbour's committed value changed since it was last
+            evaluated; the first sweep of each comm round is always dense).
+            Sparse activation requires node functions that are *pure per
+            round* -- the returned value must depend only on the node's own
+            and neighbours' values.
+        converge: Termination rule: ``"fixed"`` (run exactly
+            ``iterations`` sweeps) or ``"quiescence"`` (additionally stop as
+            soon as a global reduction observes that *no* node's committed
+            value changed during an iteration -- the computation has reached
+            its fixed point and further sweeps cannot alter any value).
         track_phases: Record per-phase virtual-time breakdowns.
         track_trace: Record a per-iteration :class:`~repro.core.trace.
             ExecutionTrace` (makespans, compute imbalance, migrations).
@@ -171,6 +184,8 @@ class PlatformConfig:
     recovery_policy: str = "rollback"
     integrity: str = "off"
     integrity_period: int = 1
+    activation: str = "dense"
+    converge: str = "fixed"
     track_phases: bool = True
     track_trace: bool = False
     validate_each_iteration: bool = False
@@ -209,6 +224,14 @@ class PlatformConfig:
         if self.integrity_period < 1:
             raise ValueError(
                 f"integrity_period must be >= 1, got {self.integrity_period}"
+            )
+        if self.activation not in ("dense", "sparse"):
+            raise ValueError(
+                f"activation must be 'dense' or 'sparse', got {self.activation!r}"
+            )
+        if self.converge not in ("fixed", "quiescence"):
+            raise ValueError(
+                f"converge must be 'fixed' or 'quiescence', got {self.converge!r}"
             )
         if self.rebalance_mode not in ("migrate", "repartition"):
             raise ValueError(

@@ -94,22 +94,26 @@ def migrate_node(
     costs = ctx.costs
     if comm.rank == from_proc:
         node = store.release_node(gid)
-        payload: list[tuple[int, Any]] = []
+        payload: list[tuple[int, Any, int]] = []
         for v in node.neighboring_nodes:
-            payload.append((v, store.hash_table[v].data))
+            record = store.hash_table[v]
+            payload.append((v, record.data, record.version))
         # The idle side also needs the migrating node's own latest value --
         # it holds it as a shadow, but ship it anyway so state is exact even
-        # mid-window (the thesis relies on the shadow being fresh).
-        payload.append((gid, node.data.data))
+        # mid-window (the thesis relies on the shadow being fresh).  Version
+        # counters ride along so the delta exchange stays consistent after
+        # the ownership change.
+        payload.append((gid, node.data.data, node.data.version))
         ctx._comm_overhead(costs.migrate_fixed_cost + costs.migrate_item_cost * len(payload))
         comm.isend(payload, to_proc, tag=TAG_MIGRATE)
     elif comm.rank == to_proc:
         payload = comm.recv(source=from_proc, tag=TAG_MIGRATE)
         ctx._comm_overhead(costs.migrate_fixed_cost + costs.migrate_item_cost * len(payload))
-        neighbor_values = [(ngid, value) for ngid, value in payload if ngid != gid]
-        own_value = next((value for ngid, value in payload if ngid == gid), None)
-        if own_value is not None:
-            store.ensure_record(gid, own_value).data = own_value
+        neighbor_values = [entry for entry in payload if entry[0] != gid]
+        own = next((entry for entry in payload if entry[0] == gid), None)
+        if own is not None:
+            record = store.ensure_record(gid, own[1], version=own[2])
+            record.data = own[1]
         store.adopt_node(gid, neighbor_values)
     # Every rank (including busy/idle) re-derives node kinds and shadow
     # lists from the patched assignment.

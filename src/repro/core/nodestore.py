@@ -57,6 +57,9 @@ class NodeStore:
         self.peripheral: dict[int, OwnNode] = {}
         self.data_records: dict[int, NodeData] = {}
         self.hash_table = NodeHashTable(hash_table_length)
+        # Memoized communication topology (cleared by ownership surgery).
+        self._buffer_sizes_cache: dict[int, list[int]] = {}
+        self._neighbor_procs_cache: list[int] | None = None
         self._build(init_value)
 
     # ------------------------------------------------------------------ #
@@ -154,39 +157,68 @@ class NodeStore:
 
         ``sizes[q]`` = number of this rank's peripheral nodes that are
         shadows for processor ``q`` -- exactly the thesis's
-        ``buffer_size_for_communication`` array.
+        ``buffer_size_for_communication`` array.  The scan result is
+        memoized (the load-balance phase asks every period but the answer
+        only changes when ownership does); any migration surgery
+        invalidates it via :meth:`_invalidate_topology_cache`.
         """
-        sizes = [0] * nprocs
-        for node in self.peripheral.values():
-            for proc in node.shadow_for_procs:
-                sizes[proc] += 1
-        return sizes
+        cached = self._buffer_sizes_cache.get(nprocs)
+        if cached is None:
+            cached = [0] * nprocs
+            for node in self.peripheral.values():
+                for proc in node.shadow_for_procs:
+                    cached[proc] += 1
+            self._buffer_sizes_cache[nprocs] = cached
+        return list(cached)
 
     def neighbor_procs(self) -> list[int]:
-        """Processors this rank exchanges shadows with."""
-        procs: set[int] = set()
-        for node in self.peripheral.values():
-            procs.update(node.shadow_for_procs)
-        return sorted(procs)
+        """Processors this rank exchanges shadows with (memoized)."""
+        if self._neighbor_procs_cache is None:
+            procs: set[int] = set()
+            for node in self.peripheral.values():
+                procs.update(node.shadow_for_procs)
+            self._neighbor_procs_cache = sorted(procs)
+        return list(self._neighbor_procs_cache)
+
+    def _invalidate_topology_cache(self) -> None:
+        """Drop memoized buffer sizes / neighbour procs after ownership
+        surgery (release/adopt/refresh/restore)."""
+        self._buffer_sizes_cache.clear()
+        self._neighbor_procs_cache = None
 
     # ------------------------------------------------------------------ #
     # Commit (end of a compute sweep)
     # ------------------------------------------------------------------ #
 
-    def commit_owned(self) -> int:
-        """Promote ``most_recent_data`` for every owned node; returns count."""
-        count = 0
-        for node in self.owned_nodes():
-            node.data.commit()
-            count += 1
-        return count
+    def commit_owned(self) -> list[int]:
+        """Promote ``most_recent_data`` for every owned node.
 
-    def update_shadow(self, gid: int, value: Any) -> None:
-        """Install a received shadow value (post-communication update)."""
+        Returns the gids whose committed value actually *changed* (in sweep
+        order) -- the raw material of the delta halo exchange and the
+        quiescence count.  Each change bumps the node's version counter.
+        """
+        changed: list[int] = []
+        for node in self.owned_nodes():
+            if node.data.commit():
+                changed.append(node.global_id)
+        return changed
+
+    def update_shadow(self, gid: int, value: Any) -> bool:
+        """Install a received shadow value (post-communication update).
+
+        Returns whether the shadow actually changed; the version counter is
+        bumped only then, keeping replica versions identical to the owner's
+        under both the dense (every value re-sent) and delta (changed values
+        only) exchanges.
+        """
         record = self.hash_table.get(gid)
         if record is None:
             raise KeyError(f"rank {self.rank} received shadow for unknown node {gid}")
+        if record.data == value:
+            return False
         record.data = value
+        record.version += 1
+        return True
 
     # ------------------------------------------------------------------ #
     # Task-migration surgery (section 4.3)
@@ -200,41 +232,52 @@ class NodeStore:
             node = self.internal.pop(gid, None)
         if node is None:
             raise KeyError(f"rank {self.rank} cannot release unowned node {gid}")
+        self._invalidate_topology_cache()
         return node
 
-    def adopt_node(self, gid: int, neighbor_values: Sequence[tuple[int, Any]]) -> OwnNode:
+    def adopt_node(
+        self, gid: int, neighbor_values: Sequence[tuple[int, ...]]
+    ) -> OwnNode:
         """Idle side: take ownership of ``gid``.
 
         ``neighbor_values`` carries the data of the migrating node's
-        neighbours shipped by the busy processor; records are created or
-        refreshed so the next compute sweep finds everything locally.
-        The caller must already have updated ``assignment``.
+        neighbours shipped by the busy processor -- ``(gid, value)`` pairs,
+        or ``(gid, value, version)`` triples when the sender ships its
+        delta-exchange version counters; records are created or refreshed so
+        the next compute sweep finds everything locally.  The caller must
+        already have updated ``assignment``.
         """
         if self.owns(gid):
             raise KeyError(f"rank {self.rank} already owns node {gid}")
-        for ngid, value in neighbor_values:
+        for ngid, value, *rest in neighbor_values:
+            version = rest[0] if rest else 0
             record = self.data_records.get(ngid)
             if record is None:
-                record = NodeData(ngid, value)
+                record = NodeData(ngid, value, version=version)
                 self.data_records[ngid] = record
                 self.hash_table.insert(record)
             else:
                 record.data = value
+                if rest:
+                    record.version = version
         if gid not in self.data_records:
             raise KeyError(
                 f"rank {self.rank} adopting node {gid} without its data record"
             )
         node = self._make_own_node(gid)
         (self.peripheral if node.is_peripheral else self.internal)[gid] = node
+        self._invalidate_topology_cache()
         return node
 
-    def ensure_record(self, gid: int, value: Any) -> NodeData:
+    def ensure_record(self, gid: int, value: Any, version: int | None = None) -> NodeData:
         """Create (or return) the data record for ``gid``."""
         record = self.data_records.get(gid)
         if record is None:
-            record = NodeData(gid, value)
+            record = NodeData(gid, value, version=version or 0)
             self.data_records[gid] = record
             self.hash_table.insert(record)
+        elif version is not None:
+            record.version = version
         return record
 
     def refresh_ownership(self) -> None:
@@ -254,6 +297,7 @@ class NodeStore:
             (self.peripheral if node.is_peripheral else self.internal)[
                 node.global_id
             ] = node
+        self._invalidate_topology_cache()
 
     def prune_stale_shadows(self) -> list[int]:
         """Drop shadow records no longer adjacent to any owned node.
@@ -293,6 +337,7 @@ class NodeStore:
                 gid: (
                     copy.deepcopy(record.data),
                     copy.deepcopy(record.most_recent_data),
+                    record.version,
                 )
                 for gid, record in self.data_records.items()
             },
@@ -315,8 +360,10 @@ class NodeStore:
         self.assignment[:] = state["assignment"]
         self.data_records.clear()
         self.hash_table = NodeHashTable(state["hash_table_length"])
-        for gid, (data, most_recent) in state["records"].items():
-            record = NodeData(gid, copy.deepcopy(data), copy.deepcopy(most_recent))
+        for gid, (data, most_recent, version) in state["records"].items():
+            record = NodeData(
+                gid, copy.deepcopy(data), copy.deepcopy(most_recent), version=version
+            )
             self.data_records[gid] = record
             self.hash_table.insert(record)
         self.internal.clear()
@@ -325,6 +372,7 @@ class NodeStore:
             if self.assignment[gid - 1] == self.rank:
                 node = self._make_own_node(gid)
                 (self.peripheral if node.is_peripheral else self.internal)[gid] = node
+        self._invalidate_topology_cache()
 
     # ------------------------------------------------------------------ #
     # Invariants (test hook)

@@ -34,7 +34,15 @@ from ..mpi.timing import ORIGIN2000, MachineModel
 from ..partitioning.base import Partition
 from .buffers import CommBuffers
 from .checkpoint import Checkpointer
-from .compute import ComputeContext, NodeFn, sweep_basic, sweep_overlapped
+from .compute import (
+    ComputeContext,
+    DeltaState,
+    NodeFn,
+    sweep_basic,
+    sweep_basic_delta,
+    sweep_overlapped,
+    sweep_overlapped_delta,
+)
 from .config import PlatformConfig
 from .integrity import IntegrityGuard, inject_memory_flips
 from .loadbalance import CentralizedHeuristicBalancer, LoadBalancer
@@ -47,6 +55,7 @@ from .trace import (
     ExecutionTrace,
     IntegrityRecord,
     IterationRecord,
+    QuiescenceRecord,
     ReconfigurationRecord,
 )
 
@@ -81,6 +90,8 @@ class RankOutcome:
     reconfigurations: list[ReconfigurationRecord] = field(default_factory=list)
     integrity_records: list[IntegrityRecord] = field(default_factory=list)
     repairs: int = 0
+    quiescence_records: list[QuiescenceRecord] = field(default_factory=list)
+    iterations_executed: int = 0
 
 
 @dataclass
@@ -109,6 +120,13 @@ class PlatformResult:
         repairs: Corrupted nodes healed surgically from shadow replicas
             (``integrity="full"`` only); corruption events that instead
             rolled back count under ``recoveries``.
+        quiesced_at: Iteration at which quiescence termination fired (no
+            node's value changed globally), or ``None`` when the run went
+            the configured distance; when set, ``iterations`` reports the
+            sweeps actually executed rather than the configured count.
+        messages_delivered: Point-to-point messages the simulated cluster
+            delivered over the whole run (shadow exchange, collectives,
+            migration, recovery) -- the figure the delta exchange shrinks.
         fault_report: Tally of injected fault activity when the run used a
             :class:`~repro.mpi.faults.FaultPlan`, else ``None``.
     """
@@ -126,6 +144,8 @@ class PlatformResult:
     checkpoints: int = 0
     dead_ranks: tuple[int, ...] = ()
     repairs: int = 0
+    quiesced_at: int | None = None
+    messages_delivered: int = 0
     fault_report: FaultReport | None = None
 
     @property
@@ -233,10 +253,15 @@ class ICPlatform:
         # any *surviving* rank's copy is authoritative (rank 0 itself may be
         # the one the fault plan killed).
         reporter = next(o for o in outcomes if not o.dead)
+        quiesced_at = (
+            reporter.quiescence_records[0].iteration
+            if reporter.quiescence_records
+            else None
+        )
         return PlatformResult(
             elapsed=max(o.elapsed for o in outcomes),
             nprocs=nprocs,
-            iterations=self.config.iterations,
+            iterations=reporter.iterations_executed,
             phases=[o.phases for o in outcomes],
             values=values,
             final_assignment=tuple(final_assignment),
@@ -254,11 +279,18 @@ class ICPlatform:
                     for outcome in outcomes
                     for record in outcome.integrity_records
                 ),
+                (
+                    record
+                    for outcome in outcomes
+                    for record in outcome.quiescence_records
+                ),
             ),
             recoveries=reporter.recoveries,
             repairs=reporter.repairs,
             checkpoints=sum(o.checkpoints for o in outcomes),
             dead_ranks=tuple(sorted(o.rank for o in outcomes if o.dead)),
+            quiesced_at=quiesced_at,
+            messages_delivered=cluster.messages_delivered,
             fault_report=(
                 cluster.fault_state.report() if cluster.fault_state is not None else None
             ),
@@ -269,7 +301,21 @@ class ICPlatform:
     def _rank_main(self, comm: Communicator, partition: Partition) -> RankOutcome:
         config = self.config
         phases = PhaseTimes()
-        sweep = sweep_overlapped if config.overlap_communication else sweep_basic
+        # Change-driven mode threads a DeltaState through the sweeps; the
+        # dense pipelines keep the thesis's exact behaviour.
+        delta = (
+            DeltaState(len(self.node_fns)) if config.activation == "sparse" else None
+        )
+        if delta is not None:
+            delta_sweep = (
+                sweep_overlapped_delta
+                if config.overlap_communication
+                else sweep_basic_delta
+            )
+            sweep = lambda c, s, fn, cx, buf: delta_sweep(c, s, fn, cx, buf, delta)  # noqa: E731
+        else:
+            sweep = sweep_overlapped if config.overlap_communication else sweep_basic
+        quiescing = config.converge == "quiescence"
         # Stable identity: shrink recovery re-ranks the communicator, but
         # outcomes and trace records stay addressed by the original rank.
         world_rank = comm.rank
@@ -336,6 +382,7 @@ class ICPlatform:
         applied_flips: set[tuple[int, int, int | None]] = set()
         integrity_records: list[IntegrityRecord] = []
         repairs = 0
+        quiescence_records: list[QuiescenceRecord] = []
 
         def loop_extras() -> dict[str, Any]:
             # Rollback-sensitive loop state that lives outside the store.
@@ -344,7 +391,20 @@ class ICPlatform:
                 "migrations": list(migrations),
                 "repartitions": repartitions,
                 "node_compute": dict(ctx.node_compute),
+                "delta": delta.capture() if delta is not None else None,
             }
+
+        def restore_delta(extras: dict[str, Any]) -> None:
+            # Reinstate the change frontier a checkpoint captured -- a
+            # rollback must not resume with an empty frontier (nodes whose
+            # pending changes were rolled back would never recompute).
+            if delta is None:
+                return
+            saved = extras.get("delta")
+            if saved is not None:
+                delta.restore(saved)
+            else:
+                delta.reset_dense()
 
         if has_crashes or (digesting and has_flips) or checkpointer.period:
             # Post-initialization baseline: guarantees a recovery point even
@@ -423,6 +483,11 @@ class ICPlatform:
                     migrations[:] = extras["migrations"]
                     repartitions = extras["repartitions"]
                     ctx.node_compute = dict(extras["node_compute"])
+                    if delta is not None:
+                        # The survivor stores were rebuilt from bare values
+                        # (fresh version counters), so any saved frontier is
+                        # meaningless: fall back to dense sweeps.
+                        delta.reset_dense()
                     if guard is not None:
                         guard.rebind(comm, store)
                     recovery_elapsed = comm.Wtime() - t_rec
@@ -473,6 +538,7 @@ class ICPlatform:
                     migrations[:] = extras["migrations"]
                     repartitions = extras["repartitions"]
                     ctx.node_compute = dict(extras["node_compute"])
+                    restore_delta(extras)
                     if guard is not None:
                         guard.reset_after_restore()
                     comm.barrier()
@@ -543,6 +609,7 @@ class ICPlatform:
                     migrations[:] = extras["migrations"]
                     repartitions = extras["repartitions"]
                     ctx.node_compute = dict(extras["node_compute"])
+                    restore_delta(extras)
                     guard.reset_after_restore()
                     comm.barrier()
                     event_cost = comm.Wtime() - t_ig
@@ -572,6 +639,7 @@ class ICPlatform:
             iter_compute0 = ctx.compute_time
             iter_comm_oh0 = ctx.comm_overhead_time
             migrations_before = len(migrations)
+            iter_changed = 0
             for round_idx, node_fn in enumerate(self.node_fns):
                 ctx.round = round_idx
                 t_sweep = comm.Wtime()
@@ -579,6 +647,7 @@ class ICPlatform:
                 overhead0 = ctx.comm_overhead_time
                 book0 = ctx.bookkeeping_time
                 sweep(comm, store, node_fn, ctx, buffers)
+                iter_changed += ctx.changed_last_sweep
                 t_end = comm.Wtime()
                 d_compute = ctx.compute_time - compute0
                 d_comm_oh = ctx.comm_overhead_time - overhead0
@@ -598,7 +667,20 @@ class ICPlatform:
             if config.validate_each_iteration:
                 store.check_invariants()
 
-            if config.dynamic_load_balancing and iteration % config.lb_period == 0:
+            # Quiescence: fold the changed-node count into the iteration's
+            # collective cadence.  The reduction is collective, so every
+            # rank agrees on the verdict; when nothing changed anywhere the
+            # computation is at its fixed point and further sweeps are
+            # provably no-ops (pure node functions).
+            quiesced = False
+            if quiescing:
+                quiesced = comm.allreduce(iter_changed) == 0
+
+            if (
+                not quiesced
+                and config.dynamic_load_balancing
+                and iteration % config.lb_period == 0
+            ):
                 t_lb = comm.Wtime()
                 if config.rebalance_mode == "repartition":
                     store, changed = repartition_phase(
@@ -618,6 +700,11 @@ class ICPlatform:
                     migrations.extend(events)
                 window_exec_time = 0.0  # the thesis resets the window
                 ctx.reset_node_loads()
+                if delta is not None:
+                    # Ownership changed (or stores were rebuilt): saved
+                    # frontiers no longer describe this rank's nodes, so the
+                    # next sweep of every round runs dense.
+                    delta.reset_dense()
                 comm.barrier()
                 phases.load_balancing += comm.Wtime() - t_lb
                 if config.validate_each_iteration:
@@ -641,6 +728,19 @@ class ICPlatform:
                         attempt=attempt,
                     )
                 )
+
+            if quiesced:
+                # Fixed point reached: stop early, skipping the remaining
+                # configured iterations (they could not change any value).
+                quiescence_records.append(
+                    QuiescenceRecord(
+                        rank=world_rank,
+                        iteration=iteration,
+                        configured_iterations=config.iterations,
+                        saved_iterations=config.iterations - iteration,
+                    )
+                )
+                break
 
             if checkpointer.due(iteration):
                 t_ck = comm.Wtime()
@@ -675,6 +775,10 @@ class ICPlatform:
             reconfigurations=reconfigurations,
             integrity_records=integrity_records,
             repairs=repairs,
+            quiescence_records=quiescence_records,
+            iterations_executed=(
+                iteration if quiescence_records else config.iterations
+            ),
         )
 
 def run_platform(

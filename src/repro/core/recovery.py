@@ -201,7 +201,7 @@ def shrink_reconfigure(
                 f"{ck_iteration}, survivors restored {saved_iteration}: "
                 "checkpoint schedules diverged"
             )
-        for gid, (value, _most_recent) in snap["records"].items():
+        for gid, (value, _most_recent, _version) in snap["records"].items():
             if snap["assignment"][gid - 1] == snap["rank"]:
                 lost_gids.append(gid)
                 dead_values[gid] = value

@@ -21,6 +21,7 @@ __all__ = [
     "IterationRecord",
     "ReconfigurationRecord",
     "IntegrityRecord",
+    "QuiescenceRecord",
     "ExecutionTrace",
 ]
 
@@ -139,6 +140,32 @@ class IntegrityRecord:
     resumed_iteration: int
 
 
+@dataclass(frozen=True)
+class QuiescenceRecord:
+    """Early termination because the computation reached its fixed point.
+
+    Recorded once per rank when ``PlatformConfig(converge="quiescence")``
+    observes, through a collective reduction, that no node's committed
+    value changed during an iteration.  All ranks record the same logical
+    content (the decision is collective); only ``rank`` differs, and
+    :meth:`ExecutionTrace.quiescence_events` collapses the copies.
+
+    Attributes:
+        rank: The *world* rank that recorded this copy.
+        iteration: 1-based iteration whose sweeps produced zero changes --
+            the last iteration actually executed.
+        configured_iterations: The ``iterations`` the run was configured
+            for.
+        saved_iterations: Sweeps skipped thanks to early termination
+            (``configured_iterations - iteration``).
+    """
+
+    rank: int
+    iteration: int
+    configured_iterations: int
+    saved_iterations: int
+
+
 class ExecutionTrace:
     """All ranks' iteration records for one platform run."""
 
@@ -147,10 +174,12 @@ class ExecutionTrace:
         records: Iterable[IterationRecord] = (),
         reconfigurations: Iterable[ReconfigurationRecord] = (),
         integrity: Iterable[IntegrityRecord] = (),
+        quiescence: Iterable[QuiescenceRecord] = (),
     ) -> None:
         self._records: list[IterationRecord] = list(records)
         self._reconfigurations: list[ReconfigurationRecord] = list(reconfigurations)
         self._integrity: list[IntegrityRecord] = list(integrity)
+        self._quiescence: list[QuiescenceRecord] = list(quiescence)
 
     def add(self, record: IterationRecord) -> None:
         """Append one record."""
@@ -208,6 +237,25 @@ class ExecutionTrace:
         seen: dict[tuple[int, int, str], IntegrityRecord] = {}
         for r in self.integrity:
             seen.setdefault((r.iteration, r.gid, r.mode), r)
+        return [seen[key] for key in sorted(seen)]
+
+    @property
+    def quiescence(self) -> tuple[QuiescenceRecord, ...]:
+        """All quiescence records, in (iteration, rank) order."""
+        return tuple(
+            sorted(self._quiescence, key=lambda r: (r.iteration, r.rank))
+        )
+
+    def add_quiescence(self, record: QuiescenceRecord) -> None:
+        """Append one quiescence record."""
+        self._quiescence.append(record)
+
+    def quiescence_events(self) -> list[QuiescenceRecord]:
+        """One representative record per quiescence event (lowest rank's
+        copy), collapsing the identical per-rank copies."""
+        seen: dict[int, QuiescenceRecord] = {}
+        for r in self.quiescence:
+            seen.setdefault(r.iteration, r)
         return [seen[key] for key in sorted(seen)]
 
     # ------------------------------------------------------------------ #
@@ -347,5 +395,11 @@ class ExecutionTrace:
                 f"(flipped @ iter {event.flip_iteration}, "
                 f"latency {event.latency}), {source}, "
                 f"cost {event.cost * 1e3:.3f}ms"
+            )
+        for event in self.quiescence_events():
+            lines.append(
+                f"quiescence @ iter {event.iteration}: fixed point reached, "
+                f"{event.saved_iterations} of "
+                f"{event.configured_iterations} iterations saved"
             )
         return "\n".join(lines)

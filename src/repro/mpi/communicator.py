@@ -317,6 +317,18 @@ class Communicator:
         )
         return msg is not None
 
+    def pending_sources(self, tag: int) -> list[int]:
+        """Local ranks with a queued message for ``tag`` on this channel.
+
+        Sender discovery for the delta halo exchange: empty shadow sends are
+        elided, so the receiver cannot post one receive per graph neighbour
+        -- after the sweep barrier it asks which peers actually sent.  Sends
+        are eagerly buffered at injection, so every message isent before a
+        peer entered the barrier is already queued here; the result is a
+        pure function of the program, never of the host schedule.
+        """
+        return self._cluster.pending_sources(self._world_rank, tag, self._comm_id)
+
     # ------------------------------------------------------------------ #
     # Collectives (binomial trees over p2p, so clocks propagate naturally)
     # ------------------------------------------------------------------ #

@@ -189,6 +189,20 @@ class Mailbox:
                 if not by_src:
                     del self._comms[msg.comm_id]
 
+    def sources_with(self, comm_id: Any, tag: int) -> list[int]:
+        """Sources holding at least one queued message for ``(comm_id, tag)``.
+
+        The delta shadow exchange elides empty sends, so after a barrier a
+        receiver cannot derive its sender set from the graph topology -- it
+        asks the mailbox instead.  Sends are eagerly buffered at injection
+        time, which makes this query deterministic once every peer's sends
+        of the sweep happen-before the barrier release.
+        """
+        by_src = self._comms.get(comm_id)
+        if not by_src:
+            return []
+        return sorted(src for src, by_tag in by_src.items() if tag in by_tag)
+
     def purge(self, comm_id: Any, srcs: Iterable[int]) -> int:
         """Drop every message from ``srcs`` on ``comm_id``; return count.
 

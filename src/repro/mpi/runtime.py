@@ -139,6 +139,10 @@ class SimCluster:
         self._backend = make_scheduler(self.scheduler, self, deadlock_timeout)
         self._ranks = [RankState(r) for r in range(nprocs)]
         self._barriers: dict[Any, _BarrierState] = {}
+        #: Point-to-point messages accepted into a mailbox this run (host
+        #: observability for the delta-exchange benchmark; quarantined and
+        #: dropped messages never count).
+        self.messages_delivered = 0
         self._aborted = False
         self._abort_reason: str | None = None
         # (comm_id, local src) pairs condemned by quarantine(): a dead rank's
@@ -192,6 +196,7 @@ class SimCluster:
             state.result = None
             state.error = None
         self._barriers.clear()
+        self.messages_delivered = 0
         self._aborted = False
         self._abort_reason = None
         # Quarantine filters installed by a previous shrink recovery would
@@ -324,6 +329,7 @@ class SimCluster:
             if (msg.comm_id, msg.src) in self._quarantined:
                 return
             self._ranks[msg.dest].mailbox.append(msg)
+            self.messages_delivered += 1
             self._backend.notify((msg.dest,))
 
     def take_matching(
@@ -338,6 +344,12 @@ class SimCluster:
         """
         with self._backend.guard():
             return self._ranks[rank].mailbox.take(source, tag, comm_id, consume)
+
+    def pending_sources(self, rank: int, tag: int, comm_id: Any) -> list[int]:
+        """Comm-local sources with a queued ``(comm_id, tag)`` message for
+        ``rank`` (the delta halo exchange's post-barrier sender discovery)."""
+        with self._backend.guard():
+            return self._ranks[rank].mailbox.sources_with(comm_id, tag)
 
     def wait_for_message(
         self, rank: int, source: int, tag: int, comm_id: Any, consume: bool = True

@@ -99,13 +99,34 @@ class TestCommitAndShadows:
         store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
         for node in store.owned_nodes():
             node.data.most_recent_data = node.global_id * 100
-        assert store.commit_owned() == 3
+        assert store.commit_owned() == [1, 2, 3]
         assert store.value_of(2) == 200
+
+    def test_commit_owned_reports_only_changes(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        store.data_records[2].most_recent_data = 999
+        store.data_records[3].most_recent_data = 30  # unchanged value
+        assert store.commit_owned() == [2]
+        assert store.value_of(3) == 30
+
+    def test_commit_bumps_version_on_change_only(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        record = store.data_records[1]
+        record.most_recent_data = 42
+        store.commit_owned()
+        assert record.version == 1
+        record.most_recent_data = 42  # same value again
+        store.commit_owned()
+        assert record.version == 1
 
     def test_update_shadow(self, path6):
         store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
-        store.update_shadow(4, 999)
+        assert store.update_shadow(4, 999) is True
         assert store.value_of(4) == 999
+        assert store.data_records[4].version == 1
+        # Re-sending the same value is a no-op (delta-exchange contract).
+        assert store.update_shadow(4, 999) is False
+        assert store.data_records[4].version == 1
 
     def test_update_unknown_shadow_raises(self, path6):
         store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
@@ -185,3 +206,55 @@ class TestMigrationSurgery:
         store.assignment[2] = 1  # changed ownership without surgery
         with pytest.raises(AssertionError):
             store.check_invariants()
+
+
+class TestTopologyCaching:
+    """buffer_sizes()/neighbor_procs() are memoized; any ownership surgery
+    must invalidate the cache or the load balancer sees stale topology."""
+
+    def test_repeated_calls_hit_cache(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        assert store.buffer_sizes(2) == [0, 1]
+        assert store.buffer_sizes(2) == [0, 1]
+        assert store.neighbor_procs() == [1]
+        assert store.neighbor_procs() == [1]
+
+    def test_cached_lists_are_copies(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        sizes = store.buffer_sizes(2)
+        sizes[1] = 777
+        assert store.buffer_sizes(2) == [0, 1]
+        procs = store.neighbor_procs()
+        procs.append(999)
+        assert store.neighbor_procs() == [1]
+
+    def test_migration_invalidates_cache(self, path6):
+        assignment = [0, 0, 0, 1, 1, 1]
+        busy = make_store(path6, assignment, 0)
+        idle = make_store(path6, assignment, 1)
+        assert busy.buffer_sizes(2) == [0, 1]
+        assert idle.buffer_sizes(2) == [1, 0]
+        # migrate node 3 from rank 0 to rank 1
+        busy.assignment[2] = 1
+        idle.assignment[2] = 1
+        released = busy.release_node(3)
+        payload = [
+            (v, busy.data_records[v].data, busy.data_records[v].version)
+            for v in released.neighboring_nodes
+        ]
+        idle.adopt_node(3, payload)
+        busy.refresh_ownership()
+        idle.refresh_ownership()
+        # rank 0 now ships node 2's updates, rank 1 ships node 3's
+        assert busy.buffer_sizes(2) == [0, 1]
+        assert idle.buffer_sizes(2) == [1, 0]
+        assert busy.neighbor_procs() == [1]
+        assert idle.neighbor_procs() == [0]
+
+    def test_restore_state_invalidates_cache(self, path6):
+        store = make_store(path6, [0, 0, 0, 1, 1, 1], 0)
+        snapshot = store.capture_state()
+        assert store.buffer_sizes(2) == [0, 1]
+        store.restore_state(snapshot)
+        assert store.buffer_sizes(2) == [0, 1]
+        assert store.neighbor_procs() == [1]
