@@ -9,7 +9,10 @@ On the virtual-time substrate the dummy loop becomes ``ctx.work(grain)``.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..core.compute import ComputeContext, NodeFn, NodeView
+from ..core.soastore import BulkView
 
 __all__ = ["FINE_GRAIN", "COARSE_GRAIN", "make_average_fn", "neighbor_average"]
 
@@ -40,4 +43,11 @@ def make_average_fn(grain: float = FINE_GRAIN) -> NodeFn:
         ctx.work(grain)
         return neighbor_average(node)
 
+    def average_bulk(view: BulkView) -> np.ndarray:
+        # The closed-segment sum reduces [own, n1, n2, ...] left to right,
+        # matching the scalar ``sum([node.value, *neighbours])`` exactly.
+        return view.sum_closed() / (1 + view.degrees)
+
+    average_bulk.node_grain = grain
+    average_fn.bulk = average_bulk
     return average_fn

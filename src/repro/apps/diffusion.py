@@ -11,7 +11,10 @@ from __future__ import annotations
 
 from typing import Mapping
 
+import numpy as np
+
 from ..core.compute import ComputeContext, NodeFn, NodeView
+from ..core.soastore import BulkView
 from ..graphs.graph import Graph
 
 __all__ = [
@@ -64,6 +67,40 @@ def make_jacobi_fn(
             result = round(result, quantize)
         return result
 
+    def jacobi_bulk(view: BulkView) -> np.ndarray:
+        masks = view.cache.get("jacobi")
+        if masks is None or masks[0] is not view.gids:
+            gids = view.gids.tolist()
+            pin_mask = np.fromiter(
+                (gid in boundary for gid in gids), dtype=bool, count=len(gids)
+            )
+            pin_values = np.asarray(
+                [boundary.get(gid, 0.0) for gid in gids], dtype=np.float64
+            )
+            masks = view.cache["jacobi"] = (view.gids, pin_mask, pin_values)
+        _, pin_mask, pin_values = masks
+        degrees = view.degrees
+        safe_degrees = np.where(degrees > 0, degrees, 1)
+        mean = view.sum_neighbors() / safe_degrees
+        out = (1.0 - omega) * view.values + omega * mean
+        if quantize is not None:
+            # numpy's round (scale + half-even) is not Python's
+            # correctly-rounded ``round(float, ndigits)``; quantization must
+            # match the scalar path bit-for-bit, so round per element.
+            out = np.asarray(
+                [round(value, quantize) for value in out.tolist()], dtype=out.dtype
+            )
+        # Isolated and pinned nodes bypass the relaxation (and the
+        # quantization -- the scalar path returns before rounding).
+        isolated = degrees == 0
+        if isolated.any():
+            out[isolated] = view.values[isolated]
+        if pin_mask.any():
+            out[pin_mask] = pin_values[pin_mask]
+        return out
+
+    jacobi_bulk.node_grain = grain
+    jacobi_fn.bulk = jacobi_bulk
     return jacobi_fn
 
 

@@ -248,6 +248,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"repro run: error: --faults: {exc}", file=sys.stderr)
             raise SystemExit(2)
 
+    store_override = {"store": args.store} if args.store else {}
     config = PlatformConfig(
         iterations=args.iterations,
         dynamic_load_balancing=args.dynamic,
@@ -260,6 +261,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         integrity=args.integrity,
         activation=args.activation,
         converge=args.converge,
+        **store_override,
     )
     balancer = _BALANCERS[args.balancer](args.lb_threshold) if args.dynamic else None
     platform = ICPlatform(graph, node_fn, config=config, balancer=balancer)
@@ -283,6 +285,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"iterations    {result.iterations}")
     print(f"machine       {args.machine}")
     print(f"elapsed       {result.elapsed:.6f} virtual seconds")
+    if config.store != "object":
+        print(f"store         {config.store}")
     if args.activation != "dense":
         print(f"activation    {args.activation}")
         print(f"messages      {result.messages_delivered} delivered")
@@ -447,6 +451,12 @@ def build_parser() -> argparse.ArgumentParser:
                      default="migrate")
     run.add_argument("--overlap", action="store_true",
                      help="use the Figure-8a overlapped pipeline")
+    run.add_argument("--store", choices=("object", "soa"), default=None,
+                     help="node-state representation: object (one NodeData "
+                          "per node, the conformance oracle) or soa "
+                          "(struct-of-arrays with vectorized sweeps; "
+                          "bit-identical results).  Default: the REPRO_STORE "
+                          "environment variable, else 'object'")
     run.add_argument("--activation", choices=("dense", "sparse"), default="dense",
                      help="sparse = change-driven execution: recompute only "
                           "nodes whose neighbourhood changed, exchange only "

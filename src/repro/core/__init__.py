@@ -39,6 +39,7 @@ from .migration import (
 )
 from .node import INTERNAL, PERIPHERAL, NodeData, OwnNode
 from .nodestore import NodeStore
+from .soastore import BulkView, SoAStore
 from .phases import PHASE_NAMES, PhaseTimes
 from .platform import ICPlatform, PlatformResult, RankOutcome, run_platform
 from .recovery import (
@@ -58,6 +59,7 @@ from .trace import (
 
 __all__ = [
     "BUFFER_RECORD_TYPE",
+    "BulkView",
     "BusyIdlePair",
     "CentralizedHeuristicBalancer",
     "Checkpoint",
@@ -94,6 +96,7 @@ __all__ = [
     "RankOutcome",
     "ReconfigurationRecord",
     "ShrinkOutcome",
+    "SoAStore",
     "TAG_INTEGRITY",
     "TAG_MIGRATE",
     "TAG_RECOVERY",

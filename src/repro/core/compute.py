@@ -35,11 +35,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+import numpy as np
+
 from ..mpi.communicator import Communicator
 from .buffers import CommBuffers
 from .config import PlatformCosts
 from .node import OwnNode
 from .nodestore import NodeStore
+from .soastore import SoAStore
 
 __all__ = [
     "NodeView",
@@ -50,6 +53,11 @@ __all__ = [
     "sweep_overlapped",
     "sweep_basic_delta",
     "sweep_overlapped_delta",
+    "sweep_basic_bulk",
+    "sweep_overlapped_bulk",
+    "sweep_basic_delta_bulk",
+    "sweep_overlapped_delta_bulk",
+    "supports_bulk",
     "TAG_SHADOW",
     "TAG_SHADOW_DELTA",
 ]
@@ -500,6 +508,278 @@ def sweep_overlapped_delta(
 
     for node in internal:
         _compute_node(store, node, node_fn, ctx)
+    _commit_delta(store, ctx, delta, len(internal) + len(peripheral))
+
+    comm.barrier()
+    sources = comm.pending_sources(tag)
+    ctx._comm_overhead(ctx.costs.recv_setup_cost * len(sources))
+    for q in sources:
+        _unpack_delta(store, comm.recv(source=q, tag=tag), ctx, delta)
+
+
+# --------------------------------------------------------------------- #
+# Bulk (struct-of-arrays) pipelines
+# --------------------------------------------------------------------- #
+#
+# When the store is a SoAStore and the node function carries a *bulk
+# kernel* (``fn.bulk``: a callable ``kernel(view) -> ndarray`` with a
+# ``node_grain`` float attribute), the sweep computes every active node's
+# value in one vectorized pass over a :class:`~repro.core.soastore.BulkView`
+# -- then *replays* the scalar path's exact per-node charge sequence
+# (bookkeeping, grain) through the communicator.  Every virtual-clock
+# addition happens in the same order with the same amounts, so clocks,
+# phase splits, per-node load measurements, and trace streams stay
+# bit-identical to the object store's scalar sweeps -- even under
+# slow-window fault scaling, which is a deterministic function of the
+# clock at charge time.  The wall-clock win comes from eliminating the
+# per-node view construction, hash lookups, and Python-level arithmetic.
+#
+# Bulk kernels must be pure (values from committed neighbour state only)
+# and must cost exactly ``node_grain`` virtual seconds per node; functions
+# with richer cost behaviour simply omit ``.bulk`` and take the scalar
+# path, which is equally conformant on either store.
+
+
+def supports_bulk(node_fns: tuple[NodeFn, ...] | list[NodeFn]) -> bool:
+    """Whether every node function carries a bulk kernel."""
+    return all(callable(getattr(fn, "bulk", None)) for fn in node_fns)
+
+
+def _replay_node(
+    node: OwnNode, grain: float, ctx: ComputeContext, book: dict[int, float]
+) -> None:
+    """Charge one node's scalar-path costs (no value computation)."""
+    deg = len(node.neighboring_nodes)
+    cost = book.get(deg)
+    if cost is None:
+        costs = ctx.costs
+        cost = book[deg] = (
+            costs.list_item_cost * (1 + deg)
+            + costs.hash_lookup_cost * deg
+            + costs.data_scan_item_cost * ctx.num_nodes / 2
+        )
+    ctx._bookkeeping(cost)
+    before = ctx.compute_time
+    ctx.work(grain)
+    spent = ctx.compute_time - before
+    if spent:
+        gid = node.global_id
+        ctx.node_compute[gid] = ctx.node_compute.get(gid, 0.0) + spent
+
+
+def _replay_compute(
+    nodes: list[OwnNode], grain: float, ctx: ComputeContext, book: dict[int, float]
+) -> None:
+    """Charge the scalar-path costs for ``nodes`` in sweep order.
+
+    When no slow-window fault scaling can apply (``compute_scale`` would
+    return 1.0 for every charge), the per-node sequence is plain float
+    addition with no data-dependent factors, so it is inlined here against
+    local accumulators -- the same additions in the same order as
+    :func:`_replay_node`, minus six Python calls per node.  Slow windows
+    make each charge a function of the clock at charge time, so that path
+    falls back to the per-node replay.
+    """
+    if grain < 0:
+        raise ValueError(f"cannot charge negative work: {grain}")
+    faults = ctx.comm.faults
+    if faults is not None and faults.plan.slow:
+        for node in nodes:
+            _replay_node(node, grain, ctx, book)
+        return
+    state = ctx.comm._state()
+    clock = state.clock
+    compute_time = ctx.compute_time
+    bookkeeping_time = ctx.bookkeeping_time
+    node_compute = ctx.node_compute
+    costs = ctx.costs
+    half_scan = costs.data_scan_item_cost * ctx.num_nodes / 2
+    for node in nodes:
+        deg = len(node.neighboring_nodes)
+        cost = book.get(deg)
+        if cost is None:
+            cost = book[deg] = (
+                costs.list_item_cost * (1 + deg)
+                + costs.hash_lookup_cost * deg
+                + half_scan
+            )
+        bookkeeping_time += cost
+        clock += cost
+        before = compute_time
+        compute_time += grain
+        clock += grain
+        spent = compute_time - before
+        if spent:
+            gid = node.global_id
+            node_compute[gid] = node_compute.get(gid, 0.0) + spent
+    state.clock = clock
+    ctx.compute_time = compute_time
+    ctx.bookkeeping_time = bookkeeping_time
+
+
+def _bulk_values(
+    store: SoAStore,
+    kernel: Any,
+    ctx: ComputeContext,
+    nodes: list[OwnNode] | None,
+    key: str | None,
+) -> list:
+    """Run the kernel over ``nodes`` (None = all owned) and store results
+    as pending values; returns them as exact Python objects, sweep order."""
+    if nodes is None:
+        positions = None
+    elif nodes:
+        pos = store.bulk_topology().pos
+        positions = np.fromiter(
+            (pos[node.global_id] for node in nodes), dtype=np.intp, count=len(nodes)
+        )
+    else:
+        return []
+    view = store.bulk_view(positions, ctx.iteration, ctx.round, key=key)
+    return store.scatter_pending(positions, kernel(view))
+
+
+def sweep_basic_bulk(
+    comm: Communicator,
+    store: SoAStore,
+    node_fn: NodeFn,
+    ctx: ComputeContext,
+    buffers: CommBuffers,
+) -> None:
+    """:func:`sweep_basic`, vectorized over the struct-of-arrays store."""
+    kernel = node_fn.bulk
+    buffers.reset()
+    values = _bulk_values(store, kernel, ctx, None, key="dense")
+    internal = list(store.internal.values())
+    peripheral = list(store.peripheral.values())
+    grain = kernel.node_grain
+    book: dict[int, float] = {}
+    _replay_compute(internal, grain, ctx, book)
+    n_int = len(internal)
+    pack_cost = ctx.costs.pack_cost
+    for i, node in enumerate(peripheral):
+        _replay_node(node, grain, ctx, book)
+        value = values[n_int + i]
+        for proc in node.shadow_for_procs:
+            buffers.pack(proc, node.global_id, value)
+            ctx._comm_overhead(pack_cost)
+    _commit(store, ctx)
+
+    peers = _send_all(comm, buffers)
+    ctx._comm_overhead(ctx.costs.recv_setup_cost * len(peers))
+    received = [comm.recv(source=q, tag=TAG_SHADOW) for q in peers]
+    comm.barrier()
+    for records in received:
+        _unpack(store, records, ctx)
+
+
+def sweep_overlapped_bulk(
+    comm: Communicator,
+    store: SoAStore,
+    node_fn: NodeFn,
+    ctx: ComputeContext,
+    buffers: CommBuffers,
+) -> None:
+    """:func:`sweep_overlapped`, vectorized over the struct-of-arrays store."""
+    kernel = node_fn.bulk
+    buffers.reset()
+    values = _bulk_values(store, kernel, ctx, None, key="dense")
+    internal = list(store.internal.values())
+    peripheral = list(store.peripheral.values())
+    grain = kernel.node_grain
+    book: dict[int, float] = {}
+    n_int = len(internal)
+    pack_cost = ctx.costs.pack_cost
+    for i, node in enumerate(peripheral):
+        _replay_node(node, grain, ctx, book)
+        value = values[n_int + i]
+        for proc in node.shadow_for_procs:
+            buffers.pack(proc, node.global_id, value)
+            ctx._comm_overhead(pack_cost)
+
+    peers = _send_all(comm, buffers)
+    ctx._comm_overhead(ctx.costs.recv_setup_cost * len(peers))
+    requests = [(q, comm.irecv(source=q, tag=TAG_SHADOW)) for q in peers]
+
+    _replay_compute(internal, grain, ctx, book)
+    _commit(store, ctx)
+
+    for _, req in requests:
+        records = req.wait()
+        _unpack(store, records, ctx)
+
+
+def sweep_basic_delta_bulk(
+    comm: Communicator,
+    store: SoAStore,
+    node_fn: NodeFn,
+    ctx: ComputeContext,
+    buffers: CommBuffers,
+    delta: DeltaState,
+) -> None:
+    """:func:`sweep_basic_delta`, vectorized: the active set becomes an
+    index array and the sparse sweep a gather-compute-scatter."""
+    kernel = node_fn.bulk
+    buffers.reset()
+    tag = TAG_SHADOW_DELTA[delta.parity]
+    delta.parity ^= 1
+    internal, peripheral = _active_nodes(store, delta.begin_sweep(ctx.round))
+    values = _bulk_values(store, kernel, ctx, internal + peripheral, key=None)
+    grain = kernel.node_grain
+    book: dict[int, float] = {}
+    _replay_compute(internal, grain, ctx, book)
+    n_int = len(internal)
+    pack_cost = ctx.costs.pack_cost
+    for i, node in enumerate(peripheral):
+        _replay_node(node, grain, ctx, book)
+        value = values[n_int + i]
+        if value is None or value == node.data.data:
+            continue
+        for proc in node.shadow_for_procs:
+            buffers.pack(proc, node.global_id, value)
+            ctx._comm_overhead(pack_cost)
+    _commit_delta(store, ctx, delta, len(internal) + len(peripheral))
+
+    _send_all_delta(comm, buffers, tag)
+    comm.barrier()
+    sources = comm.pending_sources(tag)
+    ctx._comm_overhead(ctx.costs.recv_setup_cost * len(sources))
+    received = [comm.recv(source=q, tag=tag) for q in sources]
+    for records in received:
+        _unpack_delta(store, records, ctx, delta)
+
+
+def sweep_overlapped_delta_bulk(
+    comm: Communicator,
+    store: SoAStore,
+    node_fn: NodeFn,
+    ctx: ComputeContext,
+    buffers: CommBuffers,
+    delta: DeltaState,
+) -> None:
+    """:func:`sweep_overlapped_delta`, vectorized (see
+    :func:`sweep_basic_delta_bulk`)."""
+    kernel = node_fn.bulk
+    buffers.reset()
+    tag = TAG_SHADOW_DELTA[delta.parity]
+    delta.parity ^= 1
+    internal, peripheral = _active_nodes(store, delta.begin_sweep(ctx.round))
+    values = _bulk_values(store, kernel, ctx, internal + peripheral, key=None)
+    grain = kernel.node_grain
+    book: dict[int, float] = {}
+    n_int = len(internal)
+    pack_cost = ctx.costs.pack_cost
+    for i, node in enumerate(peripheral):
+        _replay_node(node, grain, ctx, book)
+        value = values[n_int + i]
+        if value is None or value == node.data.data:
+            continue
+        for proc in node.shadow_for_procs:
+            buffers.pack(proc, node.global_id, value)
+            ctx._comm_overhead(pack_cost)
+    _send_all_delta(comm, buffers, tag)
+
+    _replay_compute(internal, grain, ctx, book)
     _commit_delta(store, ctx, delta, len(internal) + len(peripheral))
 
     comm.barrier()

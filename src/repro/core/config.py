@@ -13,6 +13,7 @@ lists; on the virtual-time substrate they are charged explicitly through the
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -157,6 +158,14 @@ class PlatformConfig:
             Sparse activation requires node functions that are *pure per
             round* -- the returned value must depend only on the node's own
             and neighbours' values.
+        store: Node-state representation: ``"object"`` (one
+            :class:`~repro.core.node.NodeData` instance per node -- the
+            conformance oracle) or ``"soa"`` (struct-of-arrays: contiguous
+            numpy arrays for values, versions, and halt flags, with
+            vectorized sweeps whenever the node functions carry bulk
+            kernels).  Results are bit-identical across stores.  The
+            default honours the ``REPRO_STORE`` environment variable, so a
+            CI matrix axis can flip the whole suite.
         converge: Termination rule: ``"fixed"`` (run exactly
             ``iterations`` sweeps) or ``"quiescence"`` (additionally stop as
             soon as a global reduction observes that *no* node's committed
@@ -184,6 +193,9 @@ class PlatformConfig:
     recovery_policy: str = "rollback"
     integrity: str = "off"
     integrity_period: int = 1
+    store: str = field(
+        default_factory=lambda: os.environ.get("REPRO_STORE", "object")
+    )
     activation: str = "dense"
     converge: str = "fixed"
     track_phases: bool = True
@@ -224,6 +236,10 @@ class PlatformConfig:
         if self.integrity_period < 1:
             raise ValueError(
                 f"integrity_period must be >= 1, got {self.integrity_period}"
+            )
+        if self.store not in ("object", "soa"):
+            raise ValueError(
+                f"store must be 'object' or 'soa', got {self.store!r}"
             )
         if self.activation not in ("dense", "sparse"):
             raise ValueError(

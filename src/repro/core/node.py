@@ -44,12 +44,18 @@ class NodeData:
             -- only when the value actually differs, so owner and replica
             counters stay in lockstep whether every value is re-sent (dense
             exchange) or only the changed ones (delta exchange).
+        halted: Whether the node has voted to halt (vertex-program style).
+            Halted peripherals are excluded from the load-balance
+            communication statistics (``buffer_sizes`` / ``neighbor_procs``)
+            -- they still receive shadow updates so a later wake-up resumes
+            with consistent data.
     """
 
     global_id: int
     data: Any
     most_recent_data: Any = None
     version: int = 0
+    halted: bool = False
 
     def commit(self) -> bool:
         """Promote the freshly computed value to the readable slot.

@@ -55,9 +55,9 @@ class NodeStore:
         self.assignment = assignment
         self.internal: dict[int, OwnNode] = {}
         self.peripheral: dict[int, OwnNode] = {}
-        self.data_records: dict[int, NodeData] = {}
-        self.hash_table = NodeHashTable(hash_table_length)
-        # Memoized communication topology (cleared by ownership surgery).
+        self._init_record_storage(hash_table_length)
+        # Memoized communication topology (cleared by ownership surgery
+        # *and* by halt-flag changes -- see :meth:`set_halted`).
         self._buffer_sizes_cache: dict[int, list[int]] = {}
         self._neighbor_procs_cache: list[int] | None = None
         self._build(init_value)
@@ -92,9 +92,7 @@ class NodeStore:
         owned = [gid for gid in self.graph.nodes() if self.assignment[gid - 1] == self.rank]
         # Data records for owned nodes first (the global data list pass).
         for gid in owned:
-            record = NodeData(gid, init_value(gid))
-            self.data_records[gid] = record
-            self.hash_table.insert(record)
+            self._add_record(gid, init_value(gid))
         # Internal / peripheral classification.
         for gid in owned:
             node = self._make_own_node(gid)
@@ -103,9 +101,40 @@ class NodeStore:
         for node in self.peripheral.values():
             for v in node.neighboring_nodes:
                 if self.assignment[v - 1] != self.rank and v not in self.data_records:
-                    record = NodeData(v, init_value(v))
-                    self.data_records[v] = record
-                    self.hash_table.insert(record)
+                    self._add_record(v, init_value(v))
+
+    # ------------------------------------------------------------------ #
+    # Record layer (overridden by the struct-of-arrays store)
+    # ------------------------------------------------------------------ #
+
+    def _init_record_storage(self, hash_table_length: int) -> None:
+        """Create empty record containers (data node list + hash table)."""
+        self.data_records: dict[int, NodeData] = {}
+        self.hash_table = NodeHashTable(hash_table_length)
+
+    def _add_record(
+        self,
+        gid: int,
+        value: Any,
+        most_recent: Any = None,
+        version: int = 0,
+        halted: bool = False,
+    ) -> NodeData:
+        """Create the data record for ``gid`` and index it.
+
+        The single seam through which every record enters the store:
+        initialization, migration adoption, and checkpoint restore all pass
+        through here, so a subclass can swap the record representation
+        (the struct-of-arrays store) without touching those flows.
+        """
+        record = NodeData(gid, value, most_recent, version=version, halted=halted)
+        self.data_records[gid] = record
+        self.hash_table.insert(record)
+        return record
+
+    def _reset_records(self, hash_table_length: int) -> None:
+        """Drop every record and start empty (checkpoint restore)."""
+        self._init_record_storage(hash_table_length)
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -145,6 +174,10 @@ class NodeStore:
         """
         return {node.global_id: node.data.data for node in self.owned_nodes()}
 
+    def owned_versions(self) -> dict[int, int]:
+        """``gid -> version counter`` for every owned node (sweep order)."""
+        return {node.global_id: node.data.version for node in self.owned_nodes()}
+
     def value_of(self, gid: int) -> Any:
         """Committed value of any locally known node (via the hash table)."""
         record = self.hash_table.get(gid)
@@ -155,36 +188,88 @@ class NodeStore:
     def buffer_sizes(self, nprocs: int) -> list[int]:
         """Shadow records owed to each processor.
 
-        ``sizes[q]`` = number of this rank's peripheral nodes that are
-        shadows for processor ``q`` -- exactly the thesis's
-        ``buffer_size_for_communication`` array.  The scan result is
-        memoized (the load-balance phase asks every period but the answer
-        only changes when ownership does); any migration surgery
-        invalidates it via :meth:`_invalidate_topology_cache`.
+        ``sizes[q]`` = number of this rank's *active* peripheral nodes that
+        are shadows for processor ``q`` -- exactly the thesis's
+        ``buffer_size_for_communication`` array.  Halted peripherals are
+        excluded: a halted node publishes no updates, so counting it would
+        overstate the communication load the balancer reasons about.  The
+        scan result is memoized (the load-balance phase asks every period
+        but the answer only changes when ownership or halt flags do);
+        migration surgery *and* :meth:`set_halted` invalidate it via
+        :meth:`_invalidate_topology_cache`.
         """
         cached = self._buffer_sizes_cache.get(nprocs)
         if cached is None:
             cached = [0] * nprocs
             for node in self.peripheral.values():
+                if node.data.halted:
+                    continue
                 for proc in node.shadow_for_procs:
                     cached[proc] += 1
             self._buffer_sizes_cache[nprocs] = cached
         return list(cached)
 
     def neighbor_procs(self) -> list[int]:
-        """Processors this rank exchanges shadows with (memoized)."""
+        """Processors this rank pushes shadow updates to (memoized).
+
+        Like :meth:`buffer_sizes`, halted peripherals do not count: they
+        produce no updates, so a processor reachable only through halted
+        boundary nodes is not a communication neighbour for load-balance
+        purposes.
+        """
         if self._neighbor_procs_cache is None:
             procs: set[int] = set()
             for node in self.peripheral.values():
+                if node.data.halted:
+                    continue
                 procs.update(node.shadow_for_procs)
             self._neighbor_procs_cache = sorted(procs)
         return list(self._neighbor_procs_cache)
 
     def _invalidate_topology_cache(self) -> None:
-        """Drop memoized buffer sizes / neighbour procs after ownership
-        surgery (release/adopt/refresh/restore)."""
+        """Drop memoized buffer sizes / neighbour procs.
+
+        Must run after ownership surgery (release/adopt/refresh/restore)
+        *and* after any halt-flag change -- both inputs feed the memoized
+        scans.  (Halt flags originally bypassed this, so a halted vertex
+        kept its stale buffer accounting across migrations.)
+        """
         self._buffer_sizes_cache.clear()
         self._neighbor_procs_cache = None
+
+    # ------------------------------------------------------------------ #
+    # Halt flags
+    # ------------------------------------------------------------------ #
+
+    def is_halted(self, gid: int) -> bool:
+        """Whether the locally known node ``gid`` has voted to halt."""
+        record = self.hash_table.get(gid)
+        if record is None:
+            raise KeyError(f"rank {self.rank} holds no data for node {gid}")
+        return record.halted
+
+    def set_halted(self, gid: int, halted: bool = True) -> bool:
+        """Set the halt flag of a locally known node.
+
+        Returns whether the flag actually changed.  A change invalidates
+        the memoized communication topology: halted peripherals are
+        excluded from :meth:`buffer_sizes` / :meth:`neighbor_procs`, so the
+        memo is stale the moment a flag flips.
+        """
+        record = self.hash_table.get(gid)
+        if record is None:
+            raise KeyError(f"rank {self.rank} holds no data for node {gid}")
+        if bool(record.halted) == bool(halted):
+            return False
+        record.halted = bool(halted)
+        self._invalidate_topology_cache()
+        return True
+
+    def halted_gids(self) -> list[int]:
+        """Global IDs of locally known halted nodes (ascending)."""
+        return sorted(
+            gid for gid, record in self.data_records.items() if record.halted
+        )
 
     # ------------------------------------------------------------------ #
     # Commit (end of a compute sweep)
@@ -253,9 +338,7 @@ class NodeStore:
             version = rest[0] if rest else 0
             record = self.data_records.get(ngid)
             if record is None:
-                record = NodeData(ngid, value, version=version)
-                self.data_records[ngid] = record
-                self.hash_table.insert(record)
+                self._add_record(ngid, value, version=version)
             else:
                 record.data = value
                 if rest:
@@ -273,9 +356,7 @@ class NodeStore:
         """Create (or return) the data record for ``gid``."""
         record = self.data_records.get(gid)
         if record is None:
-            record = NodeData(gid, value, version=version or 0)
-            self.data_records[gid] = record
-            self.hash_table.insert(record)
+            record = self._add_record(gid, value, version=version or 0)
         elif version is not None:
             record.version = version
         return record
@@ -341,6 +422,7 @@ class NodeStore:
                 )
                 for gid, record in self.data_records.items()
             },
+            "halted": self.halted_gids(),
             "hash_table_length": self.hash_table.length,
         }
 
@@ -358,14 +440,16 @@ class NodeStore:
                 f"rank {self.rank} cannot restore a checkpoint of rank {state['rank']}"
             )
         self.assignment[:] = state["assignment"]
-        self.data_records.clear()
-        self.hash_table = NodeHashTable(state["hash_table_length"])
+        self._reset_records(state["hash_table_length"])
+        halted = set(state.get("halted", ()))
         for gid, (data, most_recent, version) in state["records"].items():
-            record = NodeData(
-                gid, copy.deepcopy(data), copy.deepcopy(most_recent), version=version
+            self._add_record(
+                gid,
+                copy.deepcopy(data),
+                copy.deepcopy(most_recent),
+                version=version,
+                halted=gid in halted,
             )
-            self.data_records[gid] = record
-            self.hash_table.insert(record)
         self.internal.clear()
         self.peripheral.clear()
         for gid in self.graph.nodes():

@@ -38,10 +38,15 @@ from .compute import (
     ComputeContext,
     DeltaState,
     NodeFn,
+    supports_bulk,
     sweep_basic,
+    sweep_basic_bulk,
     sweep_basic_delta,
+    sweep_basic_delta_bulk,
     sweep_overlapped,
+    sweep_overlapped_bulk,
     sweep_overlapped_delta,
+    sweep_overlapped_delta_bulk,
 )
 from .config import PlatformConfig
 from .integrity import IntegrityGuard, inject_memory_flips
@@ -51,6 +56,7 @@ from .nodestore import NodeStore
 from .phases import PhaseTimes
 from .recovery import send_dying_checkpoint, shrink_reconfigure
 from .repartition import repartition_phase
+from .soastore import SoAStore
 from .trace import (
     ExecutionTrace,
     IntegrityRecord,
@@ -82,6 +88,7 @@ class RankOutcome:
     values: dict[int, Any]
     owned: list[int]
     migrations: list[MigrationEvent]
+    versions: dict[int, int] = field(default_factory=dict)
     repartitions: int = 0
     trace_records: list[IterationRecord] = field(default_factory=list)
     recoveries: int = 0
@@ -107,6 +114,9 @@ class PlatformResult:
         phases: Per-rank phase breakdowns (Figures 21/22 plot their mean
             over ranks 2..16).
         values: Final committed value of every node, merged across ranks.
+        versions: Final owner-side version counter of every node (how many
+            times its committed value changed), merged across ranks -- a
+            conformance signal the differential store oracle pins.
         final_assignment: Node-to-processor map after any migrations.
         migrations: Every executed migration, in order.
         repartitions: Full from-scratch repartitions executed (repartition
@@ -138,6 +148,7 @@ class PlatformResult:
     values: dict[int, Any]
     final_assignment: tuple[int, ...]
     migrations: list[MigrationEvent]
+    versions: dict[int, int] = field(default_factory=dict)
     repartitions: int = 0
     trace: ExecutionTrace = field(default_factory=ExecutionTrace)
     recoveries: int = 0
@@ -243,8 +254,10 @@ class ICPlatform:
         outcomes: list[RankOutcome] = cluster.run(self._rank_main, partition)
 
         values: dict[int, Any] = {}
+        versions: dict[int, int] = {}
         for outcome in outcomes:
             values.update(outcome.values)
+            versions.update(outcome.versions)
         final_assignment = [0] * self.graph.num_nodes
         for outcome in outcomes:
             for gid in outcome.owned:
@@ -264,6 +277,7 @@ class ICPlatform:
             iterations=reporter.iterations_executed,
             phases=[o.phases for o in outcomes],
             values=values,
+            versions=versions,
             final_assignment=tuple(final_assignment),
             migrations=list(reporter.migrations),
             repartitions=reporter.repartitions,
@@ -306,15 +320,24 @@ class ICPlatform:
         delta = (
             DeltaState(len(self.node_fns)) if config.activation == "sparse" else None
         )
+        # The struct-of-arrays store takes the vectorized pipelines whenever
+        # every node function ships a bulk kernel; functions without one
+        # (imbalance schedules, battlefield) run the scalar sweeps, which
+        # are equally conformant on either store.
+        store_cls = SoAStore if config.store == "soa" else NodeStore
+        bulk = config.store == "soa" and supports_bulk(self.node_fns)
         if delta is not None:
-            delta_sweep = (
-                sweep_overlapped_delta
-                if config.overlap_communication
-                else sweep_basic_delta
-            )
+            if config.overlap_communication:
+                delta_sweep = (
+                    sweep_overlapped_delta_bulk if bulk else sweep_overlapped_delta
+                )
+            else:
+                delta_sweep = sweep_basic_delta_bulk if bulk else sweep_basic_delta
             sweep = lambda c, s, fn, cx, buf: delta_sweep(c, s, fn, cx, buf, delta)  # noqa: E731
+        elif config.overlap_communication:
+            sweep = sweep_overlapped_bulk if bulk else sweep_overlapped
         else:
-            sweep = sweep_overlapped if config.overlap_communication else sweep_basic
+            sweep = sweep_basic_bulk if bulk else sweep_basic
         quiescing = config.converge == "quiescence"
         # Stable identity: shrink recovery re-ranks the communicator, but
         # outcomes and trace records stay addressed by the original rank.
@@ -324,7 +347,7 @@ class ICPlatform:
         t0 = comm.Wtime()
         assignment = list(partition.assignment)  # this rank's output_arr copy
         ctx = ComputeContext(comm, config.costs, self.graph.num_nodes)
-        store = NodeStore(
+        store = store_cls(
             comm.rank,
             self.graph,
             assignment,
@@ -768,6 +791,7 @@ class ICPlatform:
             values=store.owned_values(),
             owned=[node.global_id for node in store.owned_nodes()],
             migrations=migrations,
+            versions=store.owned_versions(),
             repartitions=repartitions,
             trace_records=trace_records,
             recoveries=recoveries,

@@ -223,7 +223,7 @@ def shrink_reconfigure(
 
     # ---- 7. rebuild the store from carried-over committed values -------
     store.assignment[:] = new_assignment
-    new_store = NodeStore(
+    new_store = type(store)(
         new_comm.rank,
         store.graph,
         store.assignment,

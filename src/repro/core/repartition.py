@@ -117,7 +117,7 @@ def repartition_phase(
     # Mutate the shared assignment list in place so any aliases (the
     # platform hands the same list to the store) stay consistent.
     store.assignment[:] = new_assignment
-    new_store = NodeStore(
+    new_store = type(store)(
         comm.rank,
         graph,
         store.assignment,

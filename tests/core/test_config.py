@@ -45,3 +45,15 @@ class TestPlatformConfig:
         costs = PlatformCosts(pack_cost=42.0)
         config = PlatformConfig(costs=costs)
         assert config.costs.pack_cost == 42.0
+
+    def test_store_validation(self):
+        assert PlatformConfig(store="soa").store == "soa"
+        assert PlatformConfig(store="object").store == "object"
+        with pytest.raises(ValueError, match="store"):
+            PlatformConfig(store="columnar")
+
+    def test_store_default_honours_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert PlatformConfig().store == "object"
+        monkeypatch.setenv("REPRO_STORE", "soa")
+        assert PlatformConfig().store == "soa"

@@ -258,3 +258,93 @@ class TestTopologyCaching:
         store.restore_state(snapshot)
         assert store.buffer_sizes(2) == [0, 1]
         assert store.neighbor_procs() == [1]
+
+
+class TestHaltFlags:
+    """Halt flags feed the memoized communication topology.
+
+    Regression coverage for the latent bug where ``buffer_sizes`` /
+    ``neighbor_procs`` memos were invalidated by ownership surgery but NOT
+    by halt-flag changes: a vertex halting after the memo warmed kept its
+    stale buffer accounting -- and kept it across later migrations."""
+
+    @pytest.fixture(params=["object", "soa"])
+    def store_cls(self, request):
+        from repro.core import SoAStore
+
+        return {"object": NodeStore, "soa": SoAStore}[request.param]
+
+    def test_halt_invalidates_memoized_buffer_sizes(self, path6, store_cls):
+        store = store_cls(0, path6, [0, 0, 0, 1, 1, 1], lambda gid: gid * 10)
+        # Warm the memo first -- the bug only bites on a warmed cache.
+        assert store.buffer_sizes(2) == [0, 1]
+        assert store.neighbor_procs() == [1]
+        changed = store.set_halted(3)
+        assert changed
+        assert store.buffer_sizes(2) == [0, 0]
+        assert store.neighbor_procs() == []
+        # Un-halting restores the accounting (and is also a cache event).
+        assert store.set_halted(3, False)
+        assert store.buffer_sizes(2) == [0, 1]
+        assert store.neighbor_procs() == [1]
+
+    def test_redundant_halt_is_a_noop(self, path6, store_cls):
+        store = store_cls(0, path6, [0, 0, 0, 1, 1, 1], lambda gid: gid * 10)
+        assert not store.set_halted(3, False)
+        store.set_halted(3)
+        assert not store.set_halted(3)
+        assert store.halted_gids() == [3]
+
+    def test_halted_buffer_sizing_under_migration(self, path6, store_cls):
+        """A halted vertex migrating in must not inherit stale sizing: the
+        busy rank halts its peripheral, both memos warm, then the node
+        migrates and every memo must re-derive from the new ownership AND
+        the current halt flags."""
+        assignment = [0, 0, 0, 1, 1, 1]
+        init = lambda gid: gid * 10
+        busy = store_cls(0, path6, list(assignment), init)
+        idle = store_cls(1, path6, list(assignment), init)
+        busy.set_halted(3)
+        assert busy.buffer_sizes(2) == [0, 0]  # halted peripheral excluded
+        assert idle.buffer_sizes(2) == [1, 0]
+        # Migrate node 3 (halted) from rank 0 to rank 1.
+        busy.assignment[2] = 1
+        idle.assignment[2] = 1
+        released = busy.release_node(3)
+        payload = [
+            (v, busy.data_records[v].data, busy.data_records[v].version)
+            for v in released.neighboring_nodes
+        ]
+        idle.adopt_node(3, payload)
+        idle.set_halted(3)  # the halt flag rides the migration protocol
+        busy.refresh_ownership()
+        idle.refresh_ownership()
+        # Rank 0's node 2 is now peripheral and active: it ships updates.
+        assert busy.buffer_sizes(2) == [0, 1]
+        assert busy.neighbor_procs() == [1]
+        # Rank 1's adopted node 3 is peripheral but halted: excluded.
+        assert idle.buffer_sizes(2) == [0, 0]
+        assert idle.neighbor_procs() == []
+        # Waking the migrated vertex updates the (re-warmed) memo again.
+        idle.set_halted(3, False)
+        assert idle.buffer_sizes(2) == [1, 0]
+        assert idle.neighbor_procs() == [0]
+
+    def test_halt_flags_survive_capture_restore(self, path6, store_cls):
+        store = store_cls(0, path6, [0, 0, 0, 1, 1, 1], lambda gid: gid * 10)
+        store.set_halted(2)
+        store.set_halted(3)
+        snapshot = store.capture_state()
+        assert snapshot["halted"] == [2, 3]
+        store.set_halted(2, False)
+        store.restore_state(snapshot)
+        assert store.halted_gids() == [2, 3]
+        assert store.is_halted(2) and store.is_halted(3)
+        assert store.buffer_sizes(2) == [0, 0]
+
+    def test_unknown_gid_raises(self, path6, store_cls):
+        store = store_cls(0, path6, [0, 0, 0, 1, 1, 1], lambda gid: gid * 10)
+        with pytest.raises(KeyError):
+            store.is_halted(6)  # rank 0 holds no data for node 6
+        with pytest.raises(KeyError):
+            store.set_halted(6)

@@ -1,0 +1,294 @@
+"""Differential conformance oracle: object store vs struct-of-arrays store.
+
+The object store (one :class:`~repro.core.node.NodeData` per node) is the
+reference semantics; ``store="soa"`` keeps the same logical state in
+contiguous numpy arrays and swaps the per-node sweep loops for vectorized
+bulk kernels.  That substitution must be *invisible*: every platform
+workload -- fault-free, crash+rollback, crash+shrink, integrity repair,
+sparse activation with quiescence termination, load balancing -- has to
+produce identical committed values, identical version counters, identical
+virtual clocks, and an identical trace stream under both stores.  The
+tests here run each workload twice and diff everything the platform
+reports, then fuzz the soa store across 10 perturbed host schedules.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.apps.average import make_average_fn
+from repro.apps.battlefield import BattlefieldApp, general_engagement
+from repro.apps.diffusion import hot_edge_plate, make_jacobi_fn
+from repro.core import ICPlatform, PlatformConfig
+from repro.graphs import hex32
+from repro.mpi import FaultPlan
+from repro.partitioning import MetisLikePartitioner
+
+#: Distinct host schedules for the perturbed-schedule fuzz (conformance spec).
+RUNS = 10
+
+
+def make_jitter(seed: int, max_sleep: float = 2e-4):
+    rng = random.Random(seed)
+
+    def jitter() -> None:
+        if rng.random() < 0.5:
+            time.sleep(rng.random() * max_sleep)
+
+    return jitter
+
+
+def make_scalar_average_fn(grain: float):
+    """The neighbour-average fn with its bulk kernel stripped.
+
+    On the soa store this forces the per-node scalar sweep over array-backed
+    proxy records -- the fallback every application without a bulk kernel
+    takes -- which must conform exactly like the vectorized path.
+    """
+    inner = make_average_fn(grain)
+
+    def scalar_fn(node, ctx):
+        return inner(node, ctx)
+
+    return scalar_fn
+
+
+def run_hex(store, *, node_fn=None, iterations=6, faults=None, jitter=None,
+            **overrides):
+    graph = hex32()
+    partition = MetisLikePartitioner(seed=0).partition(graph, 4)
+    config = PlatformConfig(
+        iterations=iterations, track_trace=True, store=store, **overrides
+    )
+    platform = ICPlatform(
+        graph, node_fn if node_fn is not None else make_average_fn(1e-4),
+        config=config,
+    )
+    return platform.run(
+        partition,
+        faults=FaultPlan.parse(faults) if faults else None,
+        sched_jitter=jitter,
+        deadlock_timeout=10.0,
+    )
+
+
+def run_plate(store, *, iterations=150, jitter=None, **overrides):
+    graph, boundary, init = hot_edge_plate(8, 8)
+    partition = MetisLikePartitioner(seed=0).partition(graph, 4)
+    config = PlatformConfig(
+        iterations=iterations, track_trace=True, store=store, **overrides
+    )
+    platform = ICPlatform(
+        graph, make_jacobi_fn(boundary, quantize=4), init_value=init,
+        config=config,
+    )
+    return platform.run(partition, sched_jitter=jitter, deadlock_timeout=10.0)
+
+
+def boundary_gid_of_rank(rank: int) -> int:
+    """A hex32 node owned by ``rank`` with a remote neighbour (has replicas)."""
+    graph = hex32()
+    assignment = MetisLikePartitioner(seed=0).partition(graph, 4).assignment
+    return next(
+        g
+        for g in sorted(graph.nodes())
+        if assignment[g - 1] == rank
+        and any(assignment[m - 1] != rank for m in graph.neighbors(g))
+    )
+
+
+def assert_identical(obj, soa):
+    """Diff everything the platform reports between the two stores."""
+    assert soa.values == obj.values
+    assert soa.versions == obj.versions
+    assert soa.elapsed == obj.elapsed
+    assert soa.iterations == obj.iterations
+    assert soa.trace.records == obj.trace.records
+    assert soa.trace.reconfigurations == obj.trace.reconfigurations
+    assert soa.trace.integrity == obj.trace.integrity
+    assert soa.trace.quiescence == obj.trace.quiescence
+    assert [p.as_dict() for p in soa.phases] == [p.as_dict() for p in obj.phases]
+    assert soa.final_assignment == obj.final_assignment
+    assert soa.migrations == obj.migrations
+    assert soa.repartitions == obj.repartitions
+    assert soa.messages_delivered == obj.messages_delivered
+    assert soa.recoveries == obj.recoveries
+    assert soa.repairs == obj.repairs
+    assert soa.checkpoints == obj.checkpoints
+    assert soa.dead_ranks == obj.dead_ranks
+    assert soa.quiesced_at == obj.quiesced_at
+
+
+class TestFaultFree:
+    def test_basic_pipeline(self):
+        assert_identical(run_hex("object"), run_hex("soa"))
+
+    def test_overlapped_pipeline(self):
+        assert_identical(
+            run_hex("object", overlap_communication=True),
+            run_hex("soa", overlap_communication=True),
+        )
+
+    def test_versions_populated(self):
+        obj = run_hex("object")
+        soa = run_hex("soa")
+        assert obj.versions and set(obj.versions) == set(obj.values)
+        assert soa.versions == obj.versions
+        # Every value changes every one of the 6 iterations on this workload.
+        assert set(obj.versions.values()) == {6}
+
+    def test_scalar_fallback_on_soa(self):
+        """A node fn without a bulk kernel sweeps scalar over proxies."""
+        scalar = make_scalar_average_fn(1e-4)
+        assert_identical(
+            run_hex("object", node_fn=scalar), run_hex("soa", node_fn=scalar)
+        )
+
+    def test_object_values_demote_cleanly(self):
+        """Battlefield state dicts force the soa store off its float64 fast
+        path; behaviour must be unchanged after the demotion."""
+        app = BattlefieldApp(general_engagement())
+        graph = app.graph()
+        partition = MetisLikePartitioner(seed=0, trials=4).partition(graph, 8)
+
+        def run(store):
+            platform = ICPlatform(
+                graph,
+                app.node_fns(),
+                init_value=app.init_value,
+                config=app.platform_config(steps=4, store=store, track_trace=True),
+            )
+            return platform.run(partition)
+
+        obj, soa = run("object"), run("soa")
+        assert sorted(soa.values.items()) == sorted(obj.values.items())
+        assert soa.versions == obj.versions
+        assert soa.elapsed == obj.elapsed
+        assert soa.trace.records == obj.trace.records
+
+
+class TestCrashRollback:
+    def test_conformance(self):
+        kwargs = dict(iterations=8, checkpoint_period=3, faults="seed=3,crash=2@5")
+        obj = run_hex("object", **kwargs)
+        soa = run_hex("soa", **kwargs)
+        assert_identical(obj, soa)
+        assert obj.recoveries == 1
+
+    def test_overlapped_conformance(self):
+        kwargs = dict(
+            iterations=8,
+            checkpoint_period=3,
+            overlap_communication=True,
+            faults="seed=3,crash=2@5",
+        )
+        assert_identical(run_hex("object", **kwargs), run_hex("soa", **kwargs))
+
+
+class TestCrashShrink:
+    def test_conformance(self):
+        kwargs = dict(
+            iterations=8,
+            checkpoint_period=3,
+            recovery_policy="shrink",
+            faults="seed=3,crash=2@5",
+        )
+        obj = run_hex("object", **kwargs)
+        soa = run_hex("soa", **kwargs)
+        assert_identical(obj, soa)
+        assert obj.dead_ranks == (2,)
+        assert obj.trace.reconfiguration_events()
+
+
+class TestIntegrityRepair:
+    def test_conformance(self):
+        gid = boundary_gid_of_rank(1)
+        kwargs = dict(
+            iterations=8,
+            integrity="full",
+            faults=f"seed=11,flipmsg=0.05,flip=1@4:{gid}",
+        )
+        obj = run_hex("object", **kwargs)
+        soa = run_hex("soa", **kwargs)
+        assert_identical(obj, soa)
+        assert obj.repairs == 1
+        assert obj.recoveries == 0
+
+    def test_digest_rollback_conformance(self):
+        """Digest-mode detection recovers by rollback instead of repair."""
+        gid = boundary_gid_of_rank(1)
+        kwargs = dict(
+            iterations=8,
+            integrity="digest",
+            checkpoint_period=3,
+            faults=f"seed=11,flip=1@4:{gid}",
+        )
+        obj = run_hex("object", **kwargs)
+        soa = run_hex("soa", **kwargs)
+        assert_identical(obj, soa)
+        assert obj.recoveries >= 1
+
+
+class TestSparseQuiescence:
+    def test_plate_conformance(self):
+        kwargs = dict(activation="sparse", converge="quiescence")
+        obj = run_plate("object", **kwargs)
+        soa = run_plate("soa", **kwargs)
+        assert_identical(obj, soa)
+        assert obj.quiesced_at is not None
+
+    def test_hex_sparse_overlapped(self):
+        kwargs = dict(activation="sparse", overlap_communication=True)
+        assert_identical(run_hex("object", **kwargs), run_hex("soa", **kwargs))
+
+
+class TestLoadBalancing:
+    def test_migration_conformance(self):
+        kwargs = dict(iterations=12, dynamic_load_balancing=True, lb_period=4)
+        obj = run_hex("object", **kwargs)
+        soa = run_hex("soa", **kwargs)
+        assert_identical(obj, soa)
+
+    def test_repartition_conformance(self):
+        kwargs = dict(
+            iterations=12,
+            dynamic_load_balancing=True,
+            lb_period=4,
+            rebalance_mode="repartition",
+        )
+        assert_identical(run_hex("object", **kwargs), run_hex("soa", **kwargs))
+
+
+class TestSoAScheduleFuzz:
+    """The vectorized sweeps replay the scalar charge sequence; the virtual
+    outcome must therefore stay schedule-independent exactly like the
+    scalar path -- across 10 perturbed host schedules per scenario."""
+
+    def test_fault_free_is_schedule_independent(self):
+        reference = run_hex("object")
+        for i in range(RUNS):
+            fuzzed = run_hex("soa", jitter=make_jitter(seed=9000 + i))
+            assert_identical(reference, fuzzed)
+
+    def test_shrink_recovery_is_schedule_independent(self):
+        kwargs = dict(
+            iterations=8,
+            checkpoint_period=3,
+            recovery_policy="shrink",
+            faults="seed=3,crash=2@5",
+        )
+        reference = run_hex("object", **kwargs)
+        for i in range(RUNS):
+            fuzzed = run_hex("soa", jitter=make_jitter(seed=9100 + i), **kwargs)
+            assert_identical(reference, fuzzed)
+
+    def test_sparse_quiescence_is_schedule_independent(self):
+        kwargs = dict(activation="sparse", converge="quiescence")
+        reference = run_plate("object", **kwargs)
+        assert reference.quiesced_at is not None
+        for i in range(RUNS):
+            fuzzed = run_plate("soa", jitter=make_jitter(seed=9200 + i), **kwargs)
+            assert_identical(reference, fuzzed)

@@ -135,12 +135,14 @@ class TestCrossBackendConformance:
         ]
         return event
 
-    def test_platform_fault_free_identical(self):
+    @pytest.mark.parametrize("store", ["object", "soa"])
+    def test_platform_fault_free_identical(self, store):
         self._assert_platform_identical(
-            PlatformConfig(iterations=4, track_trace=True)
+            PlatformConfig(iterations=4, track_trace=True, store=store)
         )
 
-    def test_platform_crash_shrink_identical(self):
+    @pytest.mark.parametrize("store", ["object", "soa"])
+    def test_platform_crash_shrink_identical(self, store):
         """The shrink-recovery acceptance scenario -- failure detection,
         survivor re-ranking, quarantine, checkpoint hand-off, and
         redistribution -- plays out identically on both backends."""
@@ -150,13 +152,15 @@ class TestCrossBackendConformance:
                 checkpoint_period=3,
                 recovery_policy="shrink",
                 track_trace=True,
+                store=store,
             ),
             faults="seed=3,crash=2@5",
         )
         assert event.dead_ranks == (2,)
         assert event.trace.reconfiguration_events()
 
-    def test_platform_integrity_repair_identical(self):
+    @pytest.mark.parametrize("store", ["object", "soa"])
+    def test_platform_integrity_repair_identical(self, store):
         """Checksummed transport + shadow-replica repair of a boundary-node
         memory flip: the priced NACK/retransmit rounds and the repair event
         land on the same virtual clocks on both backends."""
@@ -169,7 +173,9 @@ class TestCrossBackendConformance:
             and any(assignment[m - 1] != 1 for m in graph.neighbors(g))
         )
         event = self._assert_platform_identical(
-            PlatformConfig(iterations=8, integrity="full", track_trace=True),
+            PlatformConfig(
+                iterations=8, integrity="full", track_trace=True, store=store
+            ),
             faults=f"seed=11,flipmsg=0.05,flip=1@4:{gid}",
         )
         assert event.repairs == 1
