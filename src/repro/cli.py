@@ -37,6 +37,7 @@ from .graphs.chaco import read_chaco, read_partition, write_chaco, write_partiti
 from .graphs.generators import grid2d, random_connected_graph, torus2d
 from .graphs.graph import Graph
 from .graphs.hexgrid import HexGrid, hex_grid
+from .mpi.errors import UnsupportedBackendError
 from .mpi.faults import FaultPlan
 from .mpi.timing import ETHERNET_CLUSTER, IDEAL, ORIGIN2000
 from .partitioning.bands import (
@@ -264,7 +265,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         **store_override,
     )
     balancer = _BALANCERS[args.balancer](args.lb_threshold) if args.dynamic else None
-    platform = ICPlatform(graph, node_fn, config=config, balancer=balancer)
+    # Seed node values as floats rather than the default int gids: the
+    # averaging workloads produce floats after the first sweep either way,
+    # and float-valued stores are what lets --scheduler process back the
+    # node arrays with shared-memory segments.
+    platform = ICPlatform(
+        graph, node_fn, init_value=lambda gid: float(gid), config=config,
+        balancer=balancer,
+    )
 
     def execute():
         return platform.run(
@@ -274,10 +282,16 @@ def cmd_run(args: argparse.Namespace) -> int:
             scheduler=args.scheduler,
         )
 
-    if args.profile_host:
-        result = _run_with_host_profile(args.profile_host, execute)
-    else:
-        result = execute()
+    try:
+        if args.profile_host:
+            result = _run_with_host_profile(args.profile_host, execute)
+        else:
+            result = execute()
+    except UnsupportedBackendError as exc:
+        # A one-line usage-style error (exit 2), not a traceback: the
+        # scheduler/store combination is wrong, not the platform.
+        print(f"repro run: error: --scheduler: {exc}", file=sys.stderr)
+        raise SystemExit(2)
 
     print(f"graph         {graph.name} ({graph.num_nodes} nodes)")
     print(f"partition     {partition.method} (cut {partition.edge_cut()})")
@@ -440,9 +454,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--grain", choices=("fine", "coarse"), default="fine")
     run.add_argument("--iterations", type=int, default=20)
     run.add_argument("--machine", choices=sorted(_MACHINES), default="origin2000")
-    run.add_argument("--scheduler", choices=("event", "threads"), default=None,
+    run.add_argument("--scheduler", choices=("event", "threads", "process"), default=None,
                      help="simulated-cluster execution backend (default: event; "
-                          "virtual-time results are identical, event is faster)")
+                          "virtual-time results are identical on all three; "
+                          "process runs one worker OS process per rank over "
+                          "shared memory and requires --store soa)")
     run.add_argument("--dynamic", action="store_true", help="enable dynamic LB")
     run.add_argument("--balancer", choices=sorted(_BALANCERS), default="centralized")
     run.add_argument("--lb-period", type=int, default=10)

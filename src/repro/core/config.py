@@ -165,7 +165,11 @@ class PlatformConfig:
             vectorized sweeps whenever the node functions carry bulk
             kernels).  Results are bit-identical across stores.  The
             default honours the ``REPRO_STORE`` environment variable, so a
-            CI matrix axis can flip the whole suite.
+            CI matrix axis can flip the whole suite.  The multiprocess
+            execution backend (``scheduler="process"``) requires ``"soa"``:
+            worker processes share the store arrays through named
+            shared-memory segments, which only the float64 array layout
+            can inhabit (see :meth:`validate_for_scheduler`).
         converge: Termination rule: ``"fixed"`` (run exactly
             ``iterations`` sweeps) or ``"quiescence"`` (additionally stop as
             soon as a global reduction observes that *no* node's committed
@@ -253,6 +257,25 @@ class PlatformConfig:
             raise ValueError(
                 f"rebalance_mode must be 'migrate' or 'repartition', "
                 f"got {self.rebalance_mode!r}"
+            )
+
+    def validate_for_scheduler(self, scheduler: str | None) -> None:
+        """Reject switch combinations the execution backend cannot honour.
+
+        The multiprocess backend keeps node state in shared float64
+        segments, so only the struct-of-arrays store can run on it.  The
+        platform calls this before building the cluster, so an unsupported
+        pairing fails fast -- no workers forked, no segments allocated --
+        with :class:`~repro.mpi.errors.UnsupportedBackendError` instead of
+        a mid-run divergence.
+        """
+        if scheduler == "process" and self.store != "soa":
+            from ..mpi.errors import UnsupportedBackendError
+
+            raise UnsupportedBackendError(
+                "scheduler='process' requires store='soa': worker processes "
+                "share the node arrays through float64 shared-memory "
+                f"segments, which the {self.store!r} store cannot inhabit"
             )
 
     def with_overrides(self, **kwargs: Any) -> "PlatformConfig":

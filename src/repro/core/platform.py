@@ -235,12 +235,16 @@ class ICPlatform:
                 called at thread scheduling points to perturb the *host*
                 schedule without affecting virtual-time results.
             scheduler: Execution backend for the simulated cluster
-                (``"event"`` or ``"threads"``); ``None`` lets the cluster
-                pick (event unless jitter fuzzing is armed).  Virtual-time
-                results are identical either way.
+                (``"event"``, ``"threads"``, or ``"process"``); ``None``
+                lets the cluster pick (event unless jitter fuzzing is
+                armed).  Virtual-time results are identical on every
+                backend; ``"process"`` additionally runs each rank as a
+                real OS process over shared-memory SoA stores and
+                requires ``config.store == "soa"``.
         """
         if partition.graph is not self.graph and partition.graph != self.graph:
             raise ValueError("partition was computed for a different graph")
+        self.config.validate_for_scheduler(scheduler)
         nprocs = partition.nparts
         cluster = SimCluster(
             nprocs,
@@ -354,6 +358,11 @@ class ICPlatform:
             self.init_value,
             hash_table_length=config.hash_table_length,
         )
+        # Process-backend workers back the SoA arrays with a named
+        # shared-memory segment (no-op on the in-thread backends).
+        allocator = comm._cluster.shared_store_allocator()
+        if allocator is not None:
+            store.use_shared_arrays(allocator)
         num_shadows = len(store.shadow_gids())
         comm.work(
             config.costs.init_node_cost * store.num_owned()

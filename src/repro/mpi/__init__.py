@@ -6,8 +6,9 @@ the thesis.  It provides:
 * :class:`SimCluster` / :func:`run_mpi` -- ``mpirun``-style execution of a
   Python function on N simulated ranks, driven by a pluggable execution
   backend (``scheduler="event"`` for cooperative event-driven switching
-  with exact deadlock detection -- the default -- or ``"threads"`` for the
-  preemptive thread-per-rank original used by schedule fuzzing),
+  with exact deadlock detection -- the default -- ``"threads"`` for the
+  preemptive thread-per-rank original used by schedule fuzzing, or
+  ``"process"`` for one worker OS process per rank over shared memory),
 * :class:`Communicator` -- an mpi4py-flavoured API (``send``/``recv``/
   ``isend``/``irecv``/``bcast``/``gather``/``barrier``/``Wtime``) whose costs
   are charged to deterministic per-rank *virtual clocks*,
@@ -38,6 +39,7 @@ from .errors import (
     MPIError,
     ShrinkError,
     TruncationError,
+    UnsupportedBackendError,
 )
 from .failure import DetectedFailure, FailureDetector
 from .faults import (
@@ -117,6 +119,7 @@ __all__ = [
     "StructType",
     "TopologyMachineModel",
     "TruncationError",
+    "UnsupportedBackendError",
     "corrupt_value",
     "estimate_nbytes",
     "run_mpi",

@@ -8,6 +8,14 @@ to the per-rank virtual clocks through the cluster's
 In addition to the MPI surface, a communicator exposes :meth:`work`, which
 replaces the paper's dummy grain loops: ``comm.work(0.3e-3)`` charges a
 0.3 ms fine-grain node computation to this rank's clock.
+
+Determinism contract: every method reads and writes only the calling
+rank's own ``RankState`` (clock, counters) plus the cluster transport
+entry points (``deliver``/``take_matching``/``wait_for_message``/
+``barrier``).  No cross-rank state is touched directly, which is what
+lets the process scheduler run communicators in separate OS processes
+(:mod:`repro.mpi.process`) while staying bit-identical to the in-thread
+backends.
 """
 
 from __future__ import annotations

@@ -42,3 +42,14 @@ class MessageLostError(MPIError):
     """A message was dropped by fault injection and the sender exhausted its
     retry budget (:class:`~repro.mpi.faults.RetryPolicy`) without getting a
     transmission through."""
+
+
+class UnsupportedBackendError(MPIError):
+    """A requested feature cannot run on the selected execution backend.
+
+    The multiprocess backend (``scheduler="process"``) keeps node state in
+    shared-memory float arrays and cannot host object-dtype stores,
+    ``sched_jitter`` fuzz hooks (which cannot cross a process boundary), or
+    platforms without ``fork``.  The error is raised *early* -- at cluster
+    construction or platform launch -- rather than after a partial run has
+    diverged from the shared segments."""

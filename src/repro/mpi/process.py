@@ -1,0 +1,633 @@
+"""Multiprocess execution backend: one OS process per rank.
+
+The ``event`` and ``threads`` backends run every rank inside one Python
+process, so all compute serializes on the GIL; the simulator can *model*
+32-way parallelism but never exploits real cores.  This backend forks one
+worker process per rank and splits the machinery the way the iC2mpi
+platform splits its data:
+
+Data plane (shared memory, no pickling on the hot path)
+    Each worker's :class:`~repro.core.soastore.SoAStore` arrays live in a
+    named ``multiprocessing.shared_memory`` segment handed out by a
+    :class:`~repro.mpi.shm.SharedStoreAllocator`, and halo-exchange
+    payloads travel through per-edge :class:`~repro.mpi.shm.ShadowRing`
+    buffers: the sender copies its ``(gid, value)`` batch into the ring
+    and ships only a 3-field :class:`~repro.mpi.shm.RingRef` descriptor;
+    the receiver slice-copies the span back out and retires it.
+
+Control plane (one duplex pipe per worker, parent = deterministic arbiter)
+    Message-queue mutations, barriers, quarantine, and abort flow through
+    the parent :class:`_Broker`, which owns the *authoritative* mailboxes
+    and barrier states and replays exactly the same logic as
+    :meth:`SimCluster.deliver <repro.mpi.runtime.SimCluster.deliver>` /
+    :meth:`~repro.mpi.runtime.SimCluster.barrier`.  Virtual clocks and
+    fault-decision PRNG streams are strictly per-rank, so each worker
+    advances its own locally and ships the final values home in its
+    ``finish`` record; the broker merges clocks, fault counters, and rank
+    results so :meth:`SimCluster.run` sees exactly what the in-thread
+    backends produce.
+
+Determinism argument (why results are bit-identical to ``event``):
+
+* every clock update is a function of the caller's own state plus message
+  ``arrival_time`` fields computed sender-side -- nothing depends on host
+  scheduling;
+* wildcard receives match on ``(arrival_time, src)`` (virtual time), so
+  the order in which the broker happens to file deliveries is irrelevant;
+* barrier release clocks are ``max`` over entry clocks -- order-free;
+* a worker's pipe is FIFO and a *parked* worker is blocked in
+  ``conn.recv()``: once every unfinished rank is parked there can be no
+  in-flight delivery anywhere, which makes the broker's deadlock
+  detection exact, like the event backend's empty-run-queue test.  The
+  victim choice mirrors it too: the rank whose park completed the
+  deadlock (case A), or the lowest-indexed unfinished rank when a
+  finishing rank strands the rest (case B).
+
+Known, documented divergence: an abort cannot interrupt a send-only rank
+mid-flight (delivery is fire-and-forget; the parent silently drops
+post-abort messages), so a rank that never blocks again may ``finish``
+normally where the in-thread backends would raise ``CommAbortedError``
+in its next ``deliver``.  :meth:`SimCluster.run`'s raised primary error
+is unaffected.
+
+Unsupported features fail *early* with
+:class:`~repro.mpi.errors.UnsupportedBackendError`: ``sched_jitter``
+hooks (nothing to perturb, and a callable cannot meaningfully cross the
+process boundary) and platforms without the ``fork`` start method (the
+rank program is an arbitrary closure; it is inherited, never pickled).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+import multiprocessing
+from multiprocessing import connection as mp_connection
+
+from .errors import CommAbortedError, DeadlockError, UnsupportedBackendError
+from .message import Message
+from .scheduler import SchedulerBackend, _NullGuard
+from .shm import (
+    DEFAULT_RING_CAPACITY,
+    RingRef,
+    ShadowRing,
+    SharedStoreAllocator,
+    ensure_tracker,
+    force_unlink,
+    is_shadow_payload,
+    make_run_prefix,
+    unlink_prefix,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .runtime import SimCluster
+
+__all__ = ["ProcessScheduler"]
+
+
+def _recv_describe(rank: int, source: int, tag: int) -> str:
+    return (
+        f"deadlock: rank {rank} waiting on (source={source}, "
+        f"tag={tag}) with all ranks blocked"
+    )
+
+
+def _barrier_describe(rank: int) -> str:
+    return f"deadlock: rank {rank} stuck in barrier"
+
+
+# --------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------- #
+
+
+class _WorkerTransport:
+    """A worker's proxy to the parent broker (installed as
+    ``cluster._worker``; the runtime's transport entry points branch to it).
+
+    Protocol: ``deliver``/``abort``/``segment``/``finish`` are
+    fire-and-forget; ``take``/``sources``/``recv``/``barrier``/
+    ``quarantine`` are strict request/reply (``("ok", value)`` or
+    ``("err", exc)``), so after sending a request the next object on the
+    pipe is always its reply.
+    """
+
+    def __init__(
+        self, conn: Any, rank: int, prefix: str, ring_capacity: int
+    ) -> None:
+        self._conn = conn
+        self.rank = rank
+        self.prefix = prefix
+        self.ring_capacity = ring_capacity
+        self._out_rings: dict[int, ShadowRing] = {}  # dest world rank -> ring
+        self._in_rings: dict[str, ShadowRing] = {}  # segment name -> ring
+
+    # ---------------------------- plumbing ----------------------------- #
+
+    def _request(self, req: tuple) -> Any:
+        self._conn.send(req)
+        kind, value = self._conn.recv()
+        if kind == "err":
+            raise value
+        return value
+
+    def register_segment(self, name: str) -> None:
+        """Tell the parent to reap ``name`` at run end (crash-safe)."""
+        self._conn.send(("segment", name))
+
+    def store_allocator(self) -> SharedStoreAllocator:
+        """Allocator that backs this rank's SoA store with shared segments."""
+        return SharedStoreAllocator(
+            self.prefix, self.rank, register=self.register_segment
+        )
+
+    # --------------------------- ring fast path ------------------------ #
+
+    def _ring_to(self, dest: int) -> ShadowRing:
+        ring = self._out_rings.get(dest)
+        if ring is None:
+            name = f"{self.prefix}-r{self.rank}to{dest}"
+            ring = ShadowRing.create(name, self.ring_capacity)
+            self.register_segment(name)
+            self._out_rings[dest] = ring
+        return ring
+
+    def _resolve(self, msg: Message | None, consume: bool) -> Message | None:
+        """Materialize a ring descriptor back into the payload tuple.
+
+        Peeks (``consume=False``) keep the descriptor: probes only read
+        metadata, and the span must stay live for the eventual receive.
+        """
+        if msg is None or not consume or not isinstance(msg.payload, RingRef):
+            return msg
+        ref = msg.payload
+        ring = self._in_rings.get(ref.name)
+        if ring is None:
+            ring = self._in_rings[ref.name] = ShadowRing.attach(ref.name)
+        gids, vals = ring.read(ref)
+        ring.retire(ref)
+        msg.payload = tuple(zip(gids.tolist(), vals.tolist()))
+        return msg
+
+    # ------------------------- transport verbs ------------------------- #
+
+    def deliver(self, msg: Message) -> None:
+        if is_shadow_payload(msg.payload):
+            ref = self._ring_to(msg.dest).try_put(msg.payload)
+            if ref is not None:  # ring full -> fall back to pickling
+                msg = dataclasses.replace(msg, payload=ref)
+        self._conn.send(("deliver", msg))
+
+    def take(
+        self, source: int, tag: int, comm_id: Any, consume: bool
+    ) -> Message | None:
+        msg = self._request(("take", source, tag, comm_id, consume))
+        return self._resolve(msg, consume)
+
+    def sources(self, tag: int, comm_id: Any) -> list[int]:
+        return self._request(("sources", tag, comm_id))
+
+    def recv(
+        self, source: int, tag: int, comm_id: Any, consume: bool
+    ) -> Message:
+        msg = self._request(("recv", source, tag, comm_id, consume))
+        return self._resolve(msg, consume)
+
+    def barrier(self, group: tuple[int, ...], comm_id: Any, clock: float) -> float:
+        return self._request(("barrier", group, comm_id, clock))
+
+    def quarantine(self, dead_srcs: frozenset[int], comm_id: Any) -> int:
+        return self._request(("quarantine", dead_srcs, comm_id))
+
+    def abort(self, reason: str) -> None:
+        self._conn.send(("abort", reason))
+
+    def finish(
+        self,
+        result: Any,
+        error: BaseException | None,
+        counters: list[dict[str, int]] | None,
+        clock: float,
+    ) -> None:
+        result, result_exc = _picklable(result)
+        if result_exc is not None and error is None:
+            error = RuntimeError(
+                f"rank {self.rank} result is not picklable: {result_exc!r}"
+            )
+        if error is not None:
+            safe, error_exc = _picklable(error)
+            if error_exc is not None:
+                error = RuntimeError(f"{type(error).__name__}: {error}")
+        self._conn.send(("finish", result, error, counters, clock))
+
+
+def _picklable(obj: Any) -> tuple[Any, Exception | None]:
+    try:
+        pickle.dumps(obj)
+        return obj, None
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        return None, exc
+
+
+def _worker_main(
+    cluster: "SimCluster",
+    runner: Callable[[int], None],
+    rank: int,
+    conn: Any,
+    prefix: str,
+    ring_capacity: int,
+) -> None:
+    """Child-process entry: run one rank over the piped transport.
+
+    ``cluster`` and ``runner`` arrive via fork inheritance (never
+    pickled), so the closure in :meth:`SimCluster.run` works unchanged:
+    it stores the result/error into ``cluster._ranks[rank]``, which here
+    is the worker's private copy -- shipped home in the finish record.
+    """
+    transport = _WorkerTransport(conn, rank, prefix, ring_capacity)
+    cluster._worker = transport
+    state = cluster._ranks[rank]
+    try:
+        runner(rank)  # catches everything into state.error itself
+    finally:
+        counters = None
+        if cluster.fault_state is not None:
+            counters = [
+                {slot: getattr(c, slot) for slot in type(c).__slots__}
+                for c in cluster.fault_state._counters
+            ]
+        try:
+            transport.finish(state.result, state.error, counters, state.clock)
+            conn.close()
+        finally:
+            # Skip inherited atexit/multiprocessing finalizers: the worker
+            # must never unlink segments (the parent reaps), and the
+            # fork-shared resource tracker's books stay balanced.
+            os._exit(0)
+
+
+# --------------------------------------------------------------------- #
+# Parent side
+# --------------------------------------------------------------------- #
+
+
+class _Parked:
+    """One worker blocked in the broker (recv or barrier)."""
+
+    __slots__ = ("rank", "kind", "source", "tag", "comm_id", "consume", "key")
+
+    def __init__(self, rank: int, kind: str, **fields: Any) -> None:
+        self.rank = rank
+        self.kind = kind
+        self.source = fields.get("source")
+        self.tag = fields.get("tag")
+        self.comm_id = fields.get("comm_id")
+        self.consume = fields.get("consume", True)
+        self.key = fields.get("key")
+
+    def describe(self) -> str:
+        if self.kind == "barrier":
+            return _barrier_describe(self.rank)
+        return _recv_describe(self.rank, self.source, self.tag)
+
+
+class _Broker:
+    """The parent arbiter: authoritative mailboxes, barriers, and faults.
+
+    Single-threaded event loop over the worker pipes; every handler is a
+    transcription of the corresponding ``SimCluster`` method with
+    ``backend.wait`` replaced by parking the requesting worker.
+    """
+
+    def __init__(
+        self, cluster: "SimCluster", conns: list[Any], procs: list[Any]
+    ) -> None:
+        self._cluster = cluster
+        self._conns = conns
+        self._procs = procs
+        self._parked: dict[int, _Parked] = {}
+        self._unfinished = set(range(cluster.nprocs))
+        self.segments: list[str] = []
+        self._seen_segments: set[str] = set()
+
+    # ----------------------------- event loop -------------------------- #
+
+    def loop(self) -> None:
+        while self._unfinished:
+            waitees: list[Any] = [self._conns[r] for r in sorted(self._unfinished)]
+            waitees += [self._procs[r].sentinel for r in sorted(self._unfinished)]
+            mp_connection.wait(waitees)
+            for r in sorted(self._unfinished):
+                self._drain(r)
+            for r in sorted(self._unfinished):
+                if not self._procs[r].is_alive():
+                    self._drain(r)  # a finish may have landed just before death
+                    if r in self._unfinished:
+                        self._worker_died(r)
+
+    def _drain(self, rank: int) -> None:
+        conn = self._conns[rank]
+        try:
+            while rank in self._unfinished and conn.poll():
+                self._handle(rank, conn.recv())
+        except (EOFError, OSError):
+            pass
+
+    def _handle(self, rank: int, req: tuple) -> None:
+        kind = req[0]
+        if kind == "deliver":
+            self._deliver(req[1])
+        elif kind == "take":
+            _, source, tag, comm_id, consume = req
+            self._reply(rank, self._mailbox(rank).take(source, tag, comm_id, consume))
+        elif kind == "sources":
+            _, tag, comm_id = req
+            self._reply(rank, self._mailbox(rank).sources_with(comm_id, tag))
+        elif kind == "recv":
+            self._recv(rank, *req[1:])
+        elif kind == "barrier":
+            self._barrier(rank, *req[1:])
+        elif kind == "quarantine":
+            self._quarantine(rank, *req[1:])
+        elif kind == "abort":
+            self._abort(req[1])
+        elif kind == "segment":
+            if req[1] not in self._seen_segments:
+                self._seen_segments.add(req[1])
+                self.segments.append(req[1])
+        elif kind == "finish":
+            self._finish(rank, *req[1:])
+        else:  # pragma: no cover - protocol bug
+            raise RuntimeError(f"unknown worker request {kind!r} from rank {rank}")
+
+    # ------------------------------ helpers ---------------------------- #
+
+    def _mailbox(self, rank: int):
+        return self._cluster._ranks[rank].mailbox
+
+    def _reply(self, rank: int, value: Any) -> None:
+        self._send(rank, ("ok", value))
+
+    def _reply_err(self, rank: int, exc: BaseException) -> None:
+        self._send(rank, ("err", exc))
+
+    def _send(self, rank: int, obj: Any) -> None:
+        try:
+            self._conns[rank].send(obj)
+        except (BrokenPipeError, OSError):  # worker died; sentinel handles it
+            pass
+
+    # ----------------------------- transport --------------------------- #
+
+    def _deliver(self, msg: Message) -> None:
+        cluster = self._cluster
+        if cluster._aborted:
+            # The in-thread backends raise CommAbortedError in the sender;
+            # fire-and-forget delivery cannot, so post-abort traffic is
+            # dropped (the run's outcome is already decided).
+            return
+        if (msg.comm_id, msg.src) in cluster._quarantined:
+            return
+        self._mailbox(msg.dest).append(msg)
+        cluster.messages_delivered += 1
+        parked = self._parked.get(msg.dest)
+        if parked is not None and parked.kind == "recv":
+            found = self._mailbox(msg.dest).take(
+                parked.source, parked.tag, parked.comm_id, parked.consume
+            )
+            if found is not None:
+                del self._parked[msg.dest]
+                self._reply(msg.dest, found)
+
+    def _recv(
+        self, rank: int, source: int, tag: int, comm_id: Any, consume: bool
+    ) -> None:
+        if self._cluster._aborted:
+            self._reply_err(rank, CommAbortedError(self._abort_reason()))
+            return
+        found = self._mailbox(rank).take(source, tag, comm_id, consume)
+        if found is not None:
+            self._reply(rank, found)
+            return
+        self._parked[rank] = _Parked(
+            rank, "recv", source=source, tag=tag, comm_id=comm_id, consume=consume
+        )
+        self._maybe_deadlock(victim=rank)
+
+    def _barrier(
+        self, rank: int, group: tuple[int, ...], comm_id: Any, clock: float
+    ) -> None:
+        from .runtime import _BarrierState
+
+        cluster = self._cluster
+        if cluster._aborted:
+            self._reply_err(rank, CommAbortedError(self._abort_reason()))
+            return
+        key = (comm_id, group)
+        bar = cluster._barriers.setdefault(key, _BarrierState())
+        bar.max_clock = max(bar.max_clock, clock)
+        bar.count += 1
+        if bar.count == len(group):
+            bar.release_clock = bar.max_clock + cluster.machine.barrier_time(len(group))
+            bar.count = 0
+            bar.max_clock = 0.0
+            bar.generation += 1
+            for member in group:
+                parked = self._parked.get(member)
+                if parked is not None and parked.kind == "barrier" and parked.key == key:
+                    del self._parked[member]
+                    self._reply(member, bar.release_clock)
+            self._reply(rank, bar.release_clock)
+        else:
+            self._parked[rank] = _Parked(rank, "barrier", key=key)
+            self._maybe_deadlock(victim=rank)
+
+    def _quarantine(
+        self, rank: int, dead_srcs: frozenset[int], comm_id: Any
+    ) -> None:
+        cluster = self._cluster
+        for src in dead_srcs:
+            cluster._quarantined.add((comm_id, src))
+        self._reply(rank, self._mailbox(rank).purge(comm_id, dead_srcs))
+
+    # --------------------------- run lifecycle ------------------------- #
+
+    def _finish(
+        self,
+        rank: int,
+        result: Any,
+        error: BaseException | None,
+        counters: list[dict[str, int]] | None,
+        clock: float,
+    ) -> None:
+        cluster = self._cluster
+        state = cluster._ranks[rank]
+        state.result = result
+        state.error = error
+        state.finished = True
+        state.clock = clock
+        if counters is not None and cluster.fault_state is not None:
+            # Fault events are counted in exactly one worker (draws happen
+            # on the owning rank), so summing the shipped deltas
+            # reproduces the single-process tallies.
+            for idx, shipped in enumerate(counters):
+                mine = cluster.fault_state._counters[idx]
+                for slot, value in shipped.items():
+                    setattr(mine, slot, getattr(mine, slot) + value)
+        self._unfinished.discard(rank)
+        self._parked.pop(rank, None)
+        if error is not None and not cluster._aborted:
+            self._abort(f"rank {rank} raised {type(error).__name__}: {error}")
+        elif not cluster._aborted:
+            # Case B: a finishing rank may strand every survivor parked.
+            self._maybe_deadlock(victim=None)
+
+    def _worker_died(self, rank: int) -> None:
+        proc = self._procs[rank]
+        error = RuntimeError(
+            f"rank {rank} worker process died unexpectedly "
+            f"(exitcode {proc.exitcode})"
+        )
+        state = self._cluster._ranks[rank]
+        state.error = error
+        state.finished = True
+        self._unfinished.discard(rank)
+        self._parked.pop(rank, None)
+        if not self._cluster._aborted:
+            self._abort(f"rank {rank} raised RuntimeError: {error}")
+
+    # ------------------------- abort and deadlock ---------------------- #
+
+    def _abort_reason(self) -> str:
+        return self._cluster._abort_reason or "cluster aborted"
+
+    def _abort(self, reason: str) -> None:
+        cluster = self._cluster
+        if not cluster._aborted:
+            cluster._aborted = True
+            cluster._abort_reason = reason
+        exc = CommAbortedError(self._abort_reason())
+        for rank in list(self._parked):
+            del self._parked[rank]
+            self._reply_err(rank, exc)
+
+    def _maybe_deadlock(self, victim: int | None) -> None:
+        """Exact deadlock test, mirroring the event backend's two cases.
+
+        Sound because parked workers are blocked in ``conn.recv()`` and
+        cannot send: all-unfinished-parked implies no delivery can be in
+        flight on any pipe (a worker's sends are FIFO-ordered before its
+        own park request, hence already processed).
+        """
+        if self._cluster._aborted or not self._unfinished:
+            return
+        if any(r not in self._parked for r in self._unfinished):
+            return
+        if victim is None:  # case B: lowest unfinished rank, like _pass_baton
+            victim = min(self._unfinished)
+        reason = self._parked[victim].describe()
+        cluster = self._cluster
+        cluster._aborted = True
+        cluster._abort_reason = reason
+        del self._parked[victim]
+        self._reply_err(victim, DeadlockError(reason))
+        peer_exc = CommAbortedError(reason)
+        for rank in list(self._parked):
+            del self._parked[rank]
+            self._reply_err(rank, peer_exc)
+
+
+# --------------------------------------------------------------------- #
+# The backend
+# --------------------------------------------------------------------- #
+
+
+class ProcessScheduler(SchedulerBackend):
+    """One worker OS process per rank over shared-memory stores.
+
+    Inside a worker the cluster's transport entry points are proxied to
+    the parent broker, so ``guard``/``notify`` degenerate exactly as on
+    the event backend (single thread, no shared state); ``wait`` is never
+    reached.
+    """
+
+    name = "process"
+
+    def __init__(self, cluster: "SimCluster", deadlock_timeout: float) -> None:
+        if cluster._sched_jitter is not None:
+            raise UnsupportedBackendError(
+                "scheduler='process' cannot host sched_jitter hooks: worker "
+                "ranks run in separate processes with nothing to perturb "
+                "(use scheduler='threads' for schedule fuzzing)"
+            )
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise UnsupportedBackendError(
+                "scheduler='process' requires the fork start method (rank "
+                "programs are closures, inherited rather than pickled); "
+                "this platform does not support fork"
+            )
+        self._cluster = cluster
+        self._guard = _NullGuard()
+        self.ring_capacity = DEFAULT_RING_CAPACITY
+
+    def guard(self) -> Any:
+        return self._guard
+
+    def notify(self, ranks: Iterable[int] | None = None) -> None:
+        return None
+
+    def wait(
+        self,
+        rank: int,
+        ready: Callable[[], Any],
+        describe: Callable[[], str],
+    ) -> Any:  # pragma: no cover - all blocking paths are intercepted
+        raise RuntimeError("process backend workers block in the broker, not here")
+
+    def execute(self, runner: Callable[[int], None], nprocs: int) -> None:
+        ensure_tracker()  # one fork-shared tracker for the whole tree
+        ctx = multiprocessing.get_context("fork")
+        prefix = make_run_prefix()
+        pipes = [ctx.Pipe(duplex=True) for _ in range(nprocs)]
+        procs = []
+        broker = None
+        try:
+            for rank in range(nprocs):
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        self._cluster,
+                        runner,
+                        rank,
+                        pipes[rank][1],
+                        prefix,
+                        self.ring_capacity,
+                    ),
+                    name=f"sim-rank-{rank}",
+                    daemon=True,
+                )
+                proc.start()
+                procs.append(proc)
+            for _, child_end in pipes:
+                child_end.close()
+            broker = _Broker(self._cluster, [p for p, _ in pipes], procs)
+            broker.loop()
+            for proc in procs:
+                proc.join(timeout=10.0)
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            for parent_end, _ in pipes:
+                parent_end.close()
+            # Reap every shared segment, registered or stray: workers never
+            # unlink (a receiver may attach after the producer exited), so
+            # the parent is the single point of truth for cleanup.
+            if broker is not None:
+                for name in broker.segments:
+                    force_unlink(name)
+            unlink_prefix(prefix)

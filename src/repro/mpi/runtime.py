@@ -23,7 +23,12 @@ How the rank programs are interleaved on the host is delegated to a
 * ``"threads"`` -- the preemptive original with a condition-variable poll
   and a real-time deadlock watchdog, retained for the ``sched_jitter``
   schedule-fuzzing suites (and selected automatically when a jitter hook
-  is armed).
+  is armed);
+* ``"process"`` -- one worker OS process per rank over shared-memory SoA
+  stores (:mod:`repro.mpi.process`): real multi-core execution with the
+  parent process as the deterministic control-plane arbiter.  Inside a
+  worker, the transport entry points below branch to the worker's pipe
+  transport (``self._worker``) instead of the local mailboxes.
 
 Correctness properties the runtime guarantees on either backend:
 
@@ -109,9 +114,12 @@ class SimCluster:
             :class:`~repro.mpi.faults.MessageFlipSpec` is absorbed by a
             priced NACK + retransmit path instead of escaping silently.
         scheduler: Execution backend: ``"event"`` (cooperative, precise
-            wakeups, exact deadlock detection -- the default) or
-            ``"threads"`` (preemptive, polling watchdog).  ``None`` picks
-            ``"event"``, or ``"threads"`` when ``sched_jitter`` is armed.
+            wakeups, exact deadlock detection -- the default),
+            ``"threads"`` (preemptive, polling watchdog), or ``"process"``
+            (one worker OS process per rank over shared-memory stores --
+            real multi-core execution, identical virtual results).
+            ``None`` picks ``"event"``, or ``"threads"`` when
+            ``sched_jitter`` is armed.
     """
 
     def __init__(
@@ -149,6 +157,10 @@ class SimCluster:
         # host thread may still be running when survivors shrink, so its late
         # sends must be filtered at delivery time, not just purged once.
         self._quarantined: set[tuple[Any, int]] = set()
+        # Inside a process-backend worker this holds the worker's pipe
+        # transport to the parent broker; every transport entry point
+        # branches to it.  Always None in the parent / in-thread backends.
+        self._worker: Any = None
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -266,6 +278,19 @@ class SimCluster:
         """Maximum virtual clock across all ranks (the makespan so far)."""
         return max(state.clock for state in self._ranks)
 
+    def shared_store_allocator(self) -> Any:
+        """Shared-segment allocator for this rank's SoA store, or ``None``.
+
+        Non-``None`` only inside a process-backend worker: the platform
+        migrates the freshly built store's arrays into a named
+        shared-memory segment so peers (and the parent) address the same
+        bytes.  In-thread backends return ``None`` and the store keeps its
+        private heap arrays.
+        """
+        if self._worker is None:
+            return None
+        return self._worker.store_allocator()
+
     def abort(self, reason: str) -> None:
         """Abort the whole cluster; wakes all blocked ranks.
 
@@ -273,6 +298,11 @@ class SimCluster:
         qualifies) -- on the cooperative backend only the running rank may
         touch cluster state.
         """
+        if self._worker is not None:
+            self._aborted = True
+            self._abort_reason = reason
+            self._worker.abort(reason)
+            return
         with self._backend.guard():
             self._aborted = True
             self._abort_reason = reason
@@ -297,6 +327,8 @@ class SimCluster:
         Returns:
             Number of messages discarded.
         """
+        if self._worker is not None:
+            return self._worker.quarantine(dead_srcs, comm_id)
         with self._backend.guard():
             for src in dead_srcs:
                 self._quarantined.add((comm_id, src))
@@ -323,6 +355,10 @@ class SimCluster:
         floor: a condemned rank's thread can still execute sends after the
         survivors shrank, and those stragglers must never reach a mailbox.
         """
+        if self._worker is not None:
+            self._check_abort()
+            self._worker.deliver(msg)
+            return
         self._jitter()
         with self._backend.guard():
             self._check_abort()
@@ -342,12 +378,16 @@ class SimCluster:
         time with the source rank as a deterministic tie-break.  The index
         lookup itself is delegated to :class:`~repro.mpi.message.Mailbox`.
         """
+        if self._worker is not None:
+            return self._worker.take(source, tag, comm_id, consume)
         with self._backend.guard():
             return self._ranks[rank].mailbox.take(source, tag, comm_id, consume)
 
     def pending_sources(self, rank: int, tag: int, comm_id: Any) -> list[int]:
         """Comm-local sources with a queued ``(comm_id, tag)`` message for
         ``rank`` (the delta halo exchange's post-barrier sender discovery)."""
+        if self._worker is not None:
+            return self._worker.sources(tag, comm_id)
         with self._backend.guard():
             return self._ranks[rank].mailbox.sources_with(comm_id, tag)
 
@@ -355,6 +395,8 @@ class SimCluster:
         self, rank: int, source: int, tag: int, comm_id: Any, consume: bool = True
     ) -> Message:
         """Block ``rank`` until a matching message exists, then pop it."""
+        if self._worker is not None:
+            return self._worker.recv(source, tag, comm_id, consume)
         self._jitter()
         mailbox = self._ranks[rank].mailbox
         with self._backend.guard():
@@ -393,6 +435,12 @@ class SimCluster:
         arrive releases exactly the ``group`` members -- a precise wakeup
         on the event backend, a broadcast re-check on the threaded one.
         """
+        if self._worker is not None:
+            state = self._ranks[rank]
+            self._check_abort()
+            release = self._worker.barrier(group, comm_id, state.clock)
+            state.clock = max(state.clock, release)
+            return release
         self._jitter()
         state = self._ranks[rank]
         with self._backend.guard():

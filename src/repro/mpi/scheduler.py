@@ -3,7 +3,7 @@
 The simulated cluster runs every rank's program on its own OS thread (rank
 programs are ordinary blocking Python functions, so each needs its own
 stack).  *How* those threads are interleaved is this module's job, and the
-two backends make opposite trade-offs:
+in-thread backends make opposite trade-offs:
 
 :class:`EventScheduler` (the default)
     Event-driven cooperative scheduling: exactly one rank thread is
@@ -27,10 +27,17 @@ two backends make opposite trade-offs:
     time results are schedule-independent.  The event backend has no such
     races to perturb, so fuzzing defaults to this backend.
 
-Both backends drive the same virtual-clock/mailbox/barrier machinery in
-:mod:`repro.mpi.runtime`, and both must produce bit-identical virtual
-results -- the cross-backend conformance suite in
-``tests/mpi/test_scheduler.py`` holds them to that.
+A third backend escapes the GIL entirely:
+:class:`~repro.mpi.process.ProcessScheduler` (``scheduler="process"``)
+forks one worker OS process per rank over shared-memory SoA stores, with
+the parent as the deterministic control-plane arbiter -- see
+:mod:`repro.mpi.process`.
+
+All backends drive the same virtual-clock/mailbox/barrier machinery in
+:mod:`repro.mpi.runtime`, and all must produce bit-identical virtual
+results -- the cross-backend conformance suites in
+``tests/mpi/test_scheduler.py`` and ``tests/mpi/test_process_backend.py``
+hold them to that.
 """
 
 from __future__ import annotations
@@ -54,7 +61,7 @@ __all__ = [
 ]
 
 #: Recognized ``SimCluster(scheduler=...)`` values.
-SCHEDULERS = ("event", "threads")
+SCHEDULERS = ("event", "threads", "process")
 
 
 class _NullGuard:
@@ -393,4 +400,8 @@ def make_scheduler(
         return EventScheduler(cluster)
     if name == "threads":
         return ThreadedScheduler(cluster, deadlock_timeout)
+    if name == "process":
+        from .process import ProcessScheduler  # deferred: import cycle
+
+        return ProcessScheduler(cluster, deadlock_timeout)
     raise ValueError(f"unknown scheduler {name!r}; expected one of {SCHEDULERS}")

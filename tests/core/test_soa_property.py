@@ -110,6 +110,8 @@ def apply_op(store, op, graph, nodes):
         return ("shadow", gid, store.update_shadow(gid, op[2]))
     if kind == "halt":
         known = sorted(store.data_records)
+        if not known:  # a rank owning nothing holds no records at all
+            return None
         gid = known[op[1] % len(known)]
         return ("halt", gid, store.set_halted(gid, op[2]))
     if kind == "release":

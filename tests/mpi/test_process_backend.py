@@ -1,0 +1,410 @@
+"""Conformance and hygiene suite for the ``process`` scheduler backend.
+
+The process backend runs each rank as a real OS process: SoA node arrays
+live in named shared-memory segments, halo payloads travel through
+per-edge shared ring buffers, and everything else (barriers, recv parks,
+fault events, trace records) goes over a command pipe to the parent
+broker.  The contract mirrors the event/threads suite: *virtual* outcomes
+-- clocks, values, traces, fault and recovery behaviour -- are
+bit-identical to the in-thread backends.  On top of conformance, this
+file pins down the backend's hygiene properties: no shared-memory segment
+outlives a run (normal exit, deadlock, or a SIGKILL'd worker), and
+unsupported configurations fail fast with
+:class:`~repro.mpi.errors.UnsupportedBackendError` instead of corrupting
+a segment mid-run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.apps.average import make_average_fn
+from repro.core import ICPlatform, PlatformConfig
+from repro.core.soastore import SoAStore
+from repro.graphs import hex32
+from repro.graphs.generators import cycle_graph
+from repro.mpi import (
+    CommAbortedError,
+    DeadlockError,
+    FaultPlan,
+    SimCluster,
+    UnsupportedBackendError,
+    run_mpi,
+)
+from repro.mpi.shm import (
+    ShadowRing,
+    SharedStoreAllocator,
+    is_shadow_payload,
+    leaked_segments,
+    make_run_prefix,
+    unlink_prefix,
+)
+from repro.partitioning import MetisLikePartitioner
+
+BACKENDS = ("event", "process")
+
+
+def _assert_no_leaked_segments():
+    """Every test ends with /dev/shm clean of this platform's segments."""
+    leaks = leaked_segments()
+    assert not leaks, f"leaked shared-memory segments: {leaks}"
+
+
+# --------------------------------------------------------------------- #
+# Platform conformance: identical virtual outcomes vs the event backend
+# --------------------------------------------------------------------- #
+
+
+class TestProcessConformance:
+    def _platform_run(self, config, faults, backend):
+        graph = hex32()
+        partition = MetisLikePartitioner(seed=0).partition(graph, 4)
+        platform = ICPlatform(
+            graph,
+            make_average_fn(1e-4),
+            # The process backend holds node values in float64 segments,
+            # so the workload must start from floats (the default int
+            # gids would demote the store to object dtype).
+            init_value=lambda gid: float(gid),
+            config=config,
+        )
+        return platform.run(
+            partition,
+            faults=FaultPlan.parse(faults) if faults else None,
+            scheduler=backend,
+        )
+
+    def _assert_platform_identical(self, config, faults=None):
+        results = {
+            backend: self._platform_run(config, faults, backend)
+            for backend in BACKENDS
+        }
+        event, process = results["event"], results["process"]
+        assert event.elapsed == process.elapsed
+        assert event.values == process.values
+        assert event.final_assignment == process.final_assignment
+        assert event.trace.records == process.trace.records
+        assert [p.as_dict() for p in event.phases] == [
+            p.as_dict() for p in process.phases
+        ]
+        assert event.dead_ranks == process.dead_ranks
+        _assert_no_leaked_segments()
+        return event
+
+    def test_fault_free_identical(self):
+        self._assert_platform_identical(
+            PlatformConfig(iterations=4, track_trace=True, store="soa")
+        )
+
+    def test_quiescence_identical(self):
+        """Change-driven convergence: the active frontier shrinks across
+        supersteps, exercising the sparse bulk-view path and the
+        quiescence vote over the command pipe."""
+        self._assert_platform_identical(
+            PlatformConfig(
+                iterations=40,
+                converge="quiescence",
+                track_trace=True,
+                store="soa",
+            )
+        )
+
+    def test_message_faults_identical(self):
+        """Per-rank fault RNG streams are drawn inside the workers, so
+        drop/delay decisions and the priced retries must land on the same
+        virtual clocks as the in-thread draw."""
+        self._assert_platform_identical(
+            PlatformConfig(iterations=6, track_trace=True, store="soa"),
+            faults="seed=7,drop=0.05,delay=0.1",
+        )
+
+    def test_checkpoint_rollback_identical(self):
+        """Crash + rollback recovery: checkpoint snapshots, the failure
+        detector, and the resurrect-and-rerun loop all replay identically
+        with ranks in separate processes."""
+        self._assert_platform_identical(
+            PlatformConfig(
+                iterations=8,
+                checkpoint_period=3,
+                recovery_policy="rollback",
+                track_trace=True,
+                store="soa",
+            ),
+            faults="seed=3,crash=2@5",
+        )
+
+    def test_crash_shrink_identical(self):
+        """Shrink recovery rebuilds every survivor's store from scratch;
+        the rebuilt SoA arrays must land in fresh shared segments (via
+        ``adopt_runtime_policy``) and the reconfiguration must be
+        bit-identical."""
+        event = self._assert_platform_identical(
+            PlatformConfig(
+                iterations=8,
+                checkpoint_period=3,
+                recovery_policy="shrink",
+                track_trace=True,
+                store="soa",
+            ),
+            faults="seed=3,crash=2@5",
+        )
+        assert event.dead_ranks == (2,)
+        assert event.trace.reconfiguration_events()
+
+    def test_bsp_program_identical(self):
+        """Raw run_mpi (no platform, no store): the command-pipe control
+        plane alone reproduces the event backend's clocks."""
+
+        def prog(comm):
+            def step(superstep, state, inbox, c):
+                out = [((c.rank + 1) % c.size, float(c.rank + superstep))]
+                c.work((c.rank + 1) * 1e-4)
+                return state + sum(inbox), out, superstep < 6
+
+            from repro.core.bsp import run_bsp
+
+            final, steps = run_bsp(comm, step, 0.0, max_supersteps=10)
+            return final, steps, comm.Wtime()
+
+        results = {
+            backend: run_mpi(prog, 4, scheduler=backend)
+            for backend in BACKENDS
+        }
+        assert results["event"] == results["process"]
+        _assert_no_leaked_segments()
+
+    def test_cluster_reuse(self):
+        """A SimCluster survives back-to-back process runs: fresh workers,
+        fresh segments, identical results both times."""
+        cluster = SimCluster(3, scheduler="process")
+
+        def prog(comm):
+            comm.barrier()
+            return comm.allreduce(float(comm.rank)), comm.Wtime()
+
+        first = cluster.run(prog)
+        second = cluster.run(prog)
+        assert first == second
+        _assert_no_leaked_segments()
+
+
+# --------------------------------------------------------------------- #
+# Deadlock and failure semantics
+# --------------------------------------------------------------------- #
+
+
+class TestProcessDeadlock:
+    def test_recv_cycle_detected_immediately(self):
+        """Pipe-FIFO determinism makes deadlock detection exact: a parked
+        worker is blocked in ``conn.recv`` and cannot originate traffic,
+        so all-parked proves no message is in flight.  No watchdog wait."""
+
+        def stuck(comm):
+            peer = 1 - comm.rank
+            comm.recv(source=peer, tag=9)
+
+        start = time.perf_counter()
+        with pytest.raises(DeadlockError, match="tag=9"):
+            run_mpi(stuck, 2, scheduler="process")
+        assert time.perf_counter() - start < 5.0
+        _assert_no_leaked_segments()
+
+    def test_partial_barrier_detected(self):
+        def stuck(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=5)  # never sent
+            else:
+                comm.barrier()
+
+        with pytest.raises(DeadlockError, match="deadlock"):
+            run_mpi(stuck, 3, scheduler="process")
+        _assert_no_leaked_segments()
+
+    def test_peers_get_comm_aborted(self):
+        """The broker errs the non-victim parked ranks with the abort
+        cascade, same as the in-thread backends."""
+
+        def stuck(comm):
+            try:
+                comm.recv(source=(comm.rank + 1) % 3, tag=4)
+            except CommAbortedError:
+                return "aborted"
+            return "matched"
+
+        cluster = SimCluster(3, scheduler="process")
+        with pytest.raises(DeadlockError, match="tag=4"):
+            cluster.run(stuck)
+        aborted = [
+            cluster.state(r).result
+            for r in range(3)
+            if cluster.state(r).result == "aborted"
+        ]
+        assert len(aborted) == 2
+        _assert_no_leaked_segments()
+
+    def test_worker_process_death_surfaces(self):
+        """A rank whose OS process dies outright (not a simulated crash)
+        is reported as a RuntimeError and aborts the peers; its segments
+        are still reaped by the parent."""
+
+        def prog(comm):
+            if comm.rank == 1:
+                os.kill(os.getpid(), signal.SIGKILL)
+            comm.recv(source=1 - comm.rank, tag=3)
+
+        with pytest.raises(RuntimeError, match="worker process died"):
+            run_mpi(prog, 2, scheduler="process")
+        _assert_no_leaked_segments()
+
+    def test_rank_exception_aborts_run(self):
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("boom at rank 0")
+            comm.recv(source=0, tag=1)
+
+        with pytest.raises(ValueError, match="boom at rank 0"):
+            run_mpi(prog, 2, scheduler="process")
+        _assert_no_leaked_segments()
+
+
+# --------------------------------------------------------------------- #
+# Unsupported-configuration gates
+# --------------------------------------------------------------------- #
+
+
+class TestProcessGates:
+    def test_object_store_rejected_before_spawn(self):
+        """--store object cannot be segment-backed; the config gate fires
+        before any worker is forked."""
+        config = PlatformConfig(iterations=2, store="object")
+        with pytest.raises(UnsupportedBackendError, match="store"):
+            config.validate_for_scheduler("process")
+
+        graph = hex32()
+        partition = MetisLikePartitioner(seed=0).partition(graph, 4)
+        platform = ICPlatform(graph, make_average_fn(1e-4), config=config)
+        with pytest.raises(UnsupportedBackendError):
+            platform.run(partition, scheduler="process")
+        _assert_no_leaked_segments()
+
+    def test_object_valued_workload_rejected_early(self):
+        """store=soa but int-valued nodes: the store demotes to object
+        dtype during init, and attaching the shared allocator refuses
+        rather than silently falling back to a private heap store."""
+        graph = hex32()
+        partition = MetisLikePartitioner(seed=0).partition(graph, 4)
+        platform = ICPlatform(  # default init_value: int gids -> demotion
+            graph,
+            make_average_fn(1e-4),
+            config=PlatformConfig(iterations=2, store="soa"),
+        )
+        with pytest.raises(UnsupportedBackendError, match="float"):
+            platform.run(partition, scheduler="process")
+        _assert_no_leaked_segments()
+
+    def test_sched_jitter_rejected(self):
+        """Schedule fuzzing perturbs host threads; worker processes have
+        none, so arming it alongside the process backend is an error."""
+        with pytest.raises(UnsupportedBackendError, match="jitter"):
+            cluster = SimCluster(
+                2, sched_jitter=lambda: None, scheduler="process"
+            )
+            cluster.run(lambda comm: comm.barrier())
+
+    def test_demotion_under_shared_arrays_raises(self):
+        """Regression: writing a non-float value into a segment-backed
+        SoAStore must raise UnsupportedBackendError, not demote (the
+        object arrays could not live in the shared segment)."""
+        graph = cycle_graph(8)
+        assignment = [0] * 8
+        store = SoAStore(0, graph, assignment, init_value=lambda gid: float(gid))
+        prefix = make_run_prefix()
+        try:
+            store.use_shared_arrays(SharedStoreAllocator(prefix, 0))
+            record = store.data_records[1]
+            record.most_recent_data = 2.5  # floats stay on the fast path
+            with pytest.raises(UnsupportedBackendError, match="demote"):
+                record.most_recent_data = "not-a-float"
+            # The store is still intact and float-valued after the refusal.
+            assert record.most_recent_data == 2.5
+            assert store.value_of(1) == 1.0
+        finally:
+            unlink_prefix(prefix)
+        _assert_no_leaked_segments()
+
+
+# --------------------------------------------------------------------- #
+# Shared-memory primitives
+# --------------------------------------------------------------------- #
+
+
+class TestShadowRing:
+    def test_payload_criterion(self):
+        good = tuple((i, float(i)) for i in range(4))
+        assert is_shadow_payload(good)
+        assert not is_shadow_payload(good[:3])  # below fast-path floor
+        assert not is_shadow_payload(list(good))  # wrong container
+        assert not is_shadow_payload(good + (("x", 1.0),))
+
+    def test_roundtrip_and_retire(self):
+        prefix = make_run_prefix()
+        name = f"{prefix}-ring"
+        writer = ShadowRing.create(name, capacity=16)
+        try:
+            reader = ShadowRing.attach(name)
+            try:
+                payload = tuple((gid, gid * 0.5) for gid in range(1, 7))
+                ref = writer.try_put(payload)
+                assert ref is not None
+                gids, vals = reader.read(ref)
+                assert tuple(zip(gids.tolist(), vals.tolist())) == payload
+                reader.retire(ref)
+                # After retirement the capacity is fully reusable: fill
+                # the ring to the brim, wrap-around included.
+                for _ in range(5):
+                    ref = writer.try_put(payload)
+                    assert ref is not None
+                    reader.retire(ref)
+            finally:
+                reader.close()
+        finally:
+            writer.release()
+        _assert_no_leaked_segments()
+
+    def test_try_put_backpressure(self):
+        prefix = make_run_prefix()
+        name = f"{prefix}-ringbp"
+        writer = ShadowRing.create(name, capacity=8)
+        try:
+            payload = tuple((i, float(i)) for i in range(5))
+            assert writer.try_put(payload) is not None
+            # 5 of 8 slots consumed and never retired: the next put
+            # cannot fit and must signal fallback-to-pickling.
+            assert writer.try_put(payload) is None
+        finally:
+            writer.release()
+        _assert_no_leaked_segments()
+
+
+class TestSparseGeometryCache:
+    def test_repeated_frontier_hits_cache(self):
+        """Satellite: anonymous sparse bulk views (change-driven sweeps)
+        memoize their CSR gather geometry keyed by the positions bytes."""
+        import numpy as np
+
+        graph = cycle_graph(32)
+        store = SoAStore(
+            0, graph, [0] * 32, init_value=lambda gid: float(gid)
+        )
+        positions = np.arange(4, dtype=np.intp)
+        store.bulk_view(positions, iteration=0, round_idx=0)
+        assert store.sparse_geom_misses == 1
+        store.bulk_view(positions.copy(), iteration=1, round_idx=0)
+        assert store.sparse_geom_hits == 1
+        # A different frontier is a miss, not a collision.
+        store.bulk_view(np.arange(8, dtype=np.intp), iteration=2, round_idx=0)
+        assert store.sparse_geom_misses == 2
