@@ -250,6 +250,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             raise SystemExit(2)
 
     store_override = {"store": args.store} if args.store else {}
+    execution_override = {"execution": args.execution} if args.execution else {}
     config = PlatformConfig(
         iterations=args.iterations,
         dynamic_load_balancing=args.dynamic,
@@ -262,7 +263,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         integrity=args.integrity,
         activation=args.activation,
         converge=args.converge,
+        hybrid_inner_cap=args.hybrid_inner_cap,
         **store_override,
+        **execution_override,
     )
     balancer = _BALANCERS[args.balancer](args.lb_threshold) if args.dynamic else None
     # Seed node values as floats rather than the default int gids: the
@@ -301,6 +304,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"elapsed       {result.elapsed:.6f} virtual seconds")
     if config.store != "object":
         print(f"store         {config.store}")
+        if result.sparse_geom_hits or result.sparse_geom_misses:
+            print(
+                f"sparse geom   {result.sparse_geom_hits} hits, "
+                f"{result.sparse_geom_misses} misses (CSR memo)"
+            )
+    if config.execution != "bsp":
+        print(f"execution     {config.execution} (inner cap {config.hybrid_inner_cap})")
+        print(f"inner sweeps  {result.inner_sweeps} (summed over ranks)")
+        print(f"barriers      {result.barriers}")
     if args.activation != "dense":
         print(f"activation    {args.activation}")
         print(f"messages      {result.messages_delivered} delivered")
@@ -473,6 +485,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "(struct-of-arrays with vectorized sweeps; "
                           "bit-identical results).  Default: the REPRO_STORE "
                           "environment variable, else 'object'")
+    run.add_argument("--execution", choices=("bsp", "hybrid"), default=None,
+                     help="superstep structure: bsp (every node recomputed "
+                          "between consecutive global barriers) or hybrid "
+                          "(boundary nodes synchronize as usual, interior "
+                          "nodes iterate asynchronously to local convergence "
+                          "inside each superstep).  Default: the "
+                          "REPRO_EXECUTION environment variable, else 'bsp'")
+    run.add_argument("--hybrid-inner-cap", type=int, default=32,
+                     help="max interior sweeps per superstep under "
+                          "--execution hybrid")
     run.add_argument("--activation", choices=("dense", "sparse"), default="dense",
                      help="sparse = change-driven execution: recompute only "
                           "nodes whose neighbourhood changed, exchange only "

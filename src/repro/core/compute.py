@@ -23,11 +23,27 @@ Four pipelines are provided:
   elided entirely, and receivers discover the actual sender set from the
   mailbox after the sweep barrier (:class:`DeltaState` holds the per-round
   active sets and the sweep-parity tag).
+* :func:`sweep_hybrid` -- the GraphHP two-phase superstep
+  (``--execution hybrid``): a *boundary phase* computes the active
+  peripheral nodes and dispatches their deltas exactly like the
+  change-driven sweep, then an *interior phase* iterates the interior
+  active set locally -- no messages, no barrier -- until the frontier
+  drains or the per-superstep inner cap is hit, with every inner sweep
+  charged at full virtual cost.  The interior loop runs between the
+  ``Isend`` and the barrier, so it inherently overlaps the in-flight
+  exchange; arrivals can only activate peripheral nodes (an owned node
+  with a remote neighbour is peripheral by definition), which is what
+  makes the interior phase safely independent of this superstep's
+  traffic.
 
 The sparse pipelines assume the node function is *pure per round*: its
 return value depends only on the node's own and neighbours' values (cost
 charges may vary freely).  A skipped node then provably recomputes to its
-current value, so sparse results are value-identical to dense.
+current value, so sparse results are value-identical to dense.  The
+hybrid pipeline additionally requires the *algorithm* to be
+order-insensitive (chaotic relaxation, e.g. Jacobi): interior nodes see
+newer-than-BSP neighbour values, so the trajectory differs while the
+fixed point is preserved.
 """
 
 from __future__ import annotations
@@ -48,6 +64,7 @@ __all__ = [
     "NodeView",
     "ComputeContext",
     "DeltaState",
+    "HybridState",
     "NodeFn",
     "sweep_basic",
     "sweep_overlapped",
@@ -57,6 +74,8 @@ __all__ = [
     "sweep_overlapped_bulk",
     "sweep_basic_delta_bulk",
     "sweep_overlapped_delta_bulk",
+    "sweep_hybrid",
+    "sweep_hybrid_bulk",
     "supports_bulk",
     "TAG_SHADOW",
     "TAG_SHADOW_DELTA",
@@ -787,3 +806,268 @@ def sweep_overlapped_delta_bulk(
     ctx._comm_overhead(ctx.costs.recv_setup_cost * len(sources))
     for q in sources:
         _unpack_delta(store, comm.recv(source=q, tag=tag), ctx, delta)
+
+
+# --------------------------------------------------------------------- #
+# Hybrid sync/async (GraphHP) pipeline
+# --------------------------------------------------------------------- #
+
+
+class HybridState:
+    """Per-rank state of the hybrid (GraphHP-style) execution mode.
+
+    Like :class:`DeltaState`, but the per-round frontier is *split by node
+    class*: ``boundary[r]`` holds active peripheral nodes (computed once
+    per superstep, in the globally synchronized boundary phase) and
+    ``interior[r]`` holds active interior nodes (iterated locally to
+    convergence inside the superstep).  ``None`` marks a frontier dense.
+    A changed node activates its owned neighbours into whichever frontier
+    their classification demands, so migration/repartition/shrink (which
+    rebuild the classification) are handled by the same
+    :meth:`reset_dense` fallback the delta mode uses.
+
+    ``parity`` flips once per *superstep* (not per inner sweep -- interior
+    iteration is message-free, so the exchange tags stay lockstep across
+    ranks with different inner-sweep counts) and is deliberately not
+    checkpointed, like :class:`DeltaState.parity`.  The cumulative
+    ``inner_sweeps`` counter *is* checkpointed: it rides snapshots so a
+    rollback replays to bit-identical telemetry.
+    """
+
+    def __init__(self, rounds: int, inner_cap: int) -> None:
+        self.rounds = rounds
+        self.inner_cap = inner_cap
+        self.parity = 0
+        self.boundary: list[set[int] | None] = [None] * rounds
+        self.interior: list[set[int] | None] = [None] * rounds
+        #: Interior sweeps executed over the whole run (telemetry).
+        self.inner_sweeps = 0
+
+    def begin_boundary(self, round_idx: int) -> set[int] | None:
+        """Consume round ``round_idx``'s boundary frontier (None = dense)."""
+        active = self.boundary[round_idx]
+        self.boundary[round_idx] = set()
+        return active
+
+    def begin_interior(self, round_idx: int) -> set[int] | None:
+        """Consume round ``round_idx``'s interior frontier (None = dense)."""
+        active = self.interior[round_idx]
+        self.interior[round_idx] = set()
+        return active
+
+    def _touch(self, store: NodeStore, gid: int) -> None:
+        frontiers = (
+            self.boundary if gid in store.peripheral else self.interior
+        )
+        for fset in frontiers:
+            if fset is not None:
+                fset.add(gid)
+
+    def record_commit(
+        self, store: NodeStore, changed: list[int], ctx: ComputeContext
+    ) -> None:
+        """A committed owned value changed: it and its owned neighbours must
+        recompute in every round, each in its own class's frontier."""
+        cost = 0.0
+        for gid in changed:
+            self._touch(store, gid)
+            neighbors = store.graph.neighbors(gid)
+            for v in neighbors:
+                if store.owns(v):
+                    self._touch(store, v)
+            cost += ctx.costs.list_item_cost * (1 + len(neighbors))
+        if cost:
+            ctx._bookkeeping(cost)
+
+    def record_arrival(self, store: NodeStore, gid: int, ctx: ComputeContext) -> None:
+        """A shadow value changed: its owned neighbours must recompute.
+
+        Every owned neighbour of a shadow is peripheral by definition, so
+        arrivals only ever grow the *boundary* frontier -- the invariant
+        that lets the interior phase run before this superstep's messages
+        are drained.
+        """
+        neighbors = store.graph.neighbors(gid)
+        for v in neighbors:
+            if store.owns(v):
+                self._touch(store, v)
+        ctx._bookkeeping(ctx.costs.list_item_cost * (1 + len(neighbors)))
+
+    def reset_dense(self) -> None:
+        """Fall back to dense phases for every round (ownership changed)."""
+        self.boundary = [None] * self.rounds
+        self.interior = [None] * self.rounds
+
+    def capture(self) -> dict[str, Any]:
+        """Checkpoint payload: both frontiers plus the inner-sweep counter."""
+        return {
+            "boundary": [sorted(d) if d is not None else None for d in self.boundary],
+            "interior": [sorted(d) if d is not None else None for d in self.interior],
+            "inner_sweeps": self.inner_sweeps,
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Reinstate the frontiers and counter a checkpoint captured."""
+        self.boundary = [
+            set(d) if d is not None else None for d in state["boundary"]
+        ]
+        self.interior = [
+            set(d) if d is not None else None for d in state["interior"]
+        ]
+        self.inner_sweeps = state["inner_sweeps"]
+
+
+def _boundary_nodes(store: NodeStore, active: set[int] | None) -> list[OwnNode]:
+    """The peripheral nodes to compute this boundary phase, gid order."""
+    if active is None:
+        return list(store.peripheral.values())
+    return [store.peripheral[g] for g in sorted(active) if g in store.peripheral]
+
+
+def _interior_nodes(store: NodeStore, active: set[int] | None) -> list[OwnNode]:
+    """The interior nodes to compute this inner sweep, gid order."""
+    if active is None:
+        return list(store.internal.values())
+    return [store.internal[g] for g in sorted(active) if g in store.internal]
+
+
+def sweep_hybrid(
+    comm: Communicator,
+    store: NodeStore,
+    node_fn: NodeFn,
+    ctx: ComputeContext,
+    buffers: CommBuffers,
+    hybrid: HybridState,
+) -> None:
+    """One GraphHP-style two-phase superstep.
+
+    Boundary phase: active peripherals compute, changed values pack, the
+    (nonempty) delta buffers dispatch -- exactly the change-driven sweep
+    restricted to the cut.  Interior phase: the interior frontier is
+    iterated locally until it drains or ``inner_cap`` sweeps have run,
+    each sweep committing and re-deriving the next frontier, with no
+    communication at all -- it runs between the Isend and the barrier, so
+    it overlaps the exchange for free.  Finally the barrier fences
+    delivery and the discovered senders are drained; arrivals activate
+    only boundary nodes, for the *next* superstep.
+
+    Quiescence safety: ``changed_last_sweep`` counts boundary plus all
+    interior commits.  Frontier entries are only ever created by a
+    *changed* commit (counted here) or a *changed* arrival (counted at
+    its sender's commit), so a global all-zero verdict implies every
+    frontier on every rank is empty -- a capped-out interior frontier
+    always has a nonzero change count backing it.
+    """
+    buffers.reset()
+    tag = TAG_SHADOW_DELTA[hybrid.parity]
+    hybrid.parity ^= 1
+    round_idx = ctx.round
+
+    # ---- Boundary phase (globally synchronous, delta exchange) -------
+    boundary = _boundary_nodes(store, hybrid.begin_boundary(round_idx))
+    for node in boundary:
+        _compute_node(store, node, node_fn, ctx)
+        _pack_node_delta(node, buffers, ctx)
+    changed = store.commit_owned()
+    total_changed = len(changed)
+    ctx._bookkeeping(ctx.costs.update_cost * len(boundary))
+    # Boundary changes land in the *unconsumed* interior frontier, feeding
+    # this superstep's interior phase; interior commits below land in the
+    # fresh boundary frontier, feeding the next superstep.
+    hybrid.record_commit(store, changed, ctx)
+    _send_all_delta(comm, buffers, tag)
+
+    # ---- Interior phase (local, asynchronous, overlaps the exchange) --
+    sweeps = 0
+    while sweeps < hybrid.inner_cap:
+        nodes = _interior_nodes(store, hybrid.begin_interior(round_idx))
+        if not nodes:
+            break
+        sweeps += 1
+        for node in nodes:
+            _compute_node(store, node, node_fn, ctx)
+        changed = store.commit_owned()
+        total_changed += len(changed)
+        ctx._bookkeeping(ctx.costs.update_cost * len(nodes))
+        hybrid.record_commit(store, changed, ctx)
+    hybrid.inner_sweeps += sweeps
+    ctx.changed_last_sweep = total_changed
+
+    # ---- Exchange completion -----------------------------------------
+    comm.barrier()
+    sources = comm.pending_sources(tag)
+    ctx._comm_overhead(ctx.costs.recv_setup_cost * len(sources))
+    received = [comm.recv(source=q, tag=tag) for q in sources]
+    for records in received:
+        # HybridState.record_arrival matches DeltaState's signature, so the
+        # delta unpacker threads it unchanged.
+        _unpack_delta(store, records, ctx, hybrid)
+
+
+def sweep_hybrid_bulk(
+    comm: Communicator,
+    store: SoAStore,
+    node_fn: NodeFn,
+    ctx: ComputeContext,
+    buffers: CommBuffers,
+    hybrid: HybridState,
+) -> None:
+    """:func:`sweep_hybrid`, vectorized over the struct-of-arrays store.
+
+    Each phase is one gather-compute-scatter over an anonymous sparse
+    :class:`~repro.core.soastore.BulkView` (boundary set, then the interior
+    frontier of every inner sweep) with the scalar charge sequence
+    replayed, so clocks and values stay bit-identical to the scalar
+    pipeline on either store.  Converging interior frontiers revisit the
+    same position sets, which the store's geometry LRU turns into cache
+    hits.
+    """
+    kernel = node_fn.bulk
+    buffers.reset()
+    tag = TAG_SHADOW_DELTA[hybrid.parity]
+    hybrid.parity ^= 1
+    round_idx = ctx.round
+    grain = kernel.node_grain
+    book: dict[int, float] = {}
+    pack_cost = ctx.costs.pack_cost
+
+    # ---- Boundary phase ----------------------------------------------
+    boundary = _boundary_nodes(store, hybrid.begin_boundary(round_idx))
+    values = _bulk_values(store, kernel, ctx, boundary, key=None)
+    for i, node in enumerate(boundary):
+        _replay_node(node, grain, ctx, book)
+        value = values[i]
+        if value is None or value == node.data.data:
+            continue
+        for proc in node.shadow_for_procs:
+            buffers.pack(proc, node.global_id, value)
+            ctx._comm_overhead(pack_cost)
+    changed = store.commit_owned()
+    total_changed = len(changed)
+    ctx._bookkeeping(ctx.costs.update_cost * len(boundary))
+    hybrid.record_commit(store, changed, ctx)
+    _send_all_delta(comm, buffers, tag)
+
+    # ---- Interior phase ----------------------------------------------
+    sweeps = 0
+    while sweeps < hybrid.inner_cap:
+        nodes = _interior_nodes(store, hybrid.begin_interior(round_idx))
+        if not nodes:
+            break
+        sweeps += 1
+        _bulk_values(store, kernel, ctx, nodes, key=None)
+        _replay_compute(nodes, grain, ctx, book)
+        changed = store.commit_owned()
+        total_changed += len(changed)
+        ctx._bookkeeping(ctx.costs.update_cost * len(nodes))
+        hybrid.record_commit(store, changed, ctx)
+    hybrid.inner_sweeps += sweeps
+    ctx.changed_last_sweep = total_changed
+
+    # ---- Exchange completion -----------------------------------------
+    comm.barrier()
+    sources = comm.pending_sources(tag)
+    ctx._comm_overhead(ctx.costs.recv_setup_cost * len(sources))
+    received = [comm.recv(source=q, tag=tag) for q in sources]
+    for records in received:
+        _unpack_delta(store, records, ctx, hybrid)

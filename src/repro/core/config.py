@@ -150,6 +150,27 @@ class PlatformConfig:
             flip detected late
             has contaminated downstream state, so recovery falls back to a
             rollback past the injection point regardless of replicas.
+        execution: Superstep structure: ``"bsp"`` (every sweep is globally
+            synchronous -- the thesis's behaviour) or ``"hybrid"`` (the
+            GraphHP split: each superstep first runs a *boundary phase*
+            that computes cut-adjacent nodes and exchanges their deltas
+            exactly as BSP does, then an *interior phase* where each rank
+            iterates its interior active set locally -- no messages, no
+            barrier -- until the local frontier drains or
+            ``hybrid_inner_cap`` inner sweeps have run, charging virtual
+            compute cost per inner sweep).  Hybrid execution requires node
+            functions that are *pure per round* (like sparse activation)
+            and is only value-equivalent to BSP for order-insensitive
+            (chaotic-relaxation) algorithms such as Jacobi/diffusion: the
+            fixed point is identical, the trajectory is not.  Hybrid mode
+            is inherently change-driven (it supersedes ``activation``) and
+            inherently overlaps interior compute with the boundary
+            exchange (``overlap_communication`` is ignored).  The default
+            honours the ``REPRO_EXECUTION`` environment variable.
+        hybrid_inner_cap: Most interior sweeps one rank may run inside a
+            single superstep in hybrid mode (>= 1); bounds the asynchrony
+            so a rank cannot spin its interior forever while peers wait at
+            the boundary barrier.
         activation: Which owned nodes each sweep recomputes: ``"dense"``
             (every owned node, every sweep -- the thesis's behaviour) or
             ``"sparse"`` (change-driven: a node is recomputed only when its
@@ -200,6 +221,10 @@ class PlatformConfig:
     store: str = field(
         default_factory=lambda: os.environ.get("REPRO_STORE", "object")
     )
+    execution: str = field(
+        default_factory=lambda: os.environ.get("REPRO_EXECUTION", "bsp")
+    )
+    hybrid_inner_cap: int = 32
     activation: str = "dense"
     converge: str = "fixed"
     track_phases: bool = True
@@ -244,6 +269,14 @@ class PlatformConfig:
         if self.store not in ("object", "soa"):
             raise ValueError(
                 f"store must be 'object' or 'soa', got {self.store!r}"
+            )
+        if self.execution not in ("bsp", "hybrid"):
+            raise ValueError(
+                f"execution must be 'bsp' or 'hybrid', got {self.execution!r}"
+            )
+        if self.hybrid_inner_cap < 1:
+            raise ValueError(
+                f"hybrid_inner_cap must be >= 1, got {self.hybrid_inner_cap}"
             )
         if self.activation not in ("dense", "sparse"):
             raise ValueError(

@@ -37,12 +37,15 @@ from .checkpoint import Checkpointer
 from .compute import (
     ComputeContext,
     DeltaState,
+    HybridState,
     NodeFn,
     supports_bulk,
     sweep_basic,
     sweep_basic_bulk,
     sweep_basic_delta,
     sweep_basic_delta_bulk,
+    sweep_hybrid,
+    sweep_hybrid_bulk,
     sweep_overlapped,
     sweep_overlapped_bulk,
     sweep_overlapped_delta,
@@ -99,6 +102,9 @@ class RankOutcome:
     repairs: int = 0
     quiescence_records: list[QuiescenceRecord] = field(default_factory=list)
     iterations_executed: int = 0
+    inner_sweeps: int = 0
+    sparse_geom_hits: int = 0
+    sparse_geom_misses: int = 0
 
 
 @dataclass
@@ -137,6 +143,16 @@ class PlatformResult:
         messages_delivered: Point-to-point messages the simulated cluster
             delivered over the whole run (shadow exchange, collectives,
             migration, recovery) -- the figure the delta exchange shrinks.
+        barriers: Global barrier releases the simulated cluster executed
+            over the whole run -- the figure hybrid execution shrinks (its
+            interior sweeps are barrier-free).
+        inner_sweeps: Interior sweeps executed across all ranks under
+            ``execution="hybrid"`` (0 under BSP) -- the asynchronous work
+            that replaced full supersteps.
+        sparse_geom_hits: Anonymous sparse BulkView geometry-LRU hits
+            summed over ranks (SoA store only).
+        sparse_geom_misses: Geometry-LRU misses (CSR gathers actually
+            built) summed over ranks.
         fault_report: Tally of injected fault activity when the run used a
             :class:`~repro.mpi.faults.FaultPlan`, else ``None``.
     """
@@ -157,6 +173,10 @@ class PlatformResult:
     repairs: int = 0
     quiesced_at: int | None = None
     messages_delivered: int = 0
+    barriers: int = 0
+    inner_sweeps: int = 0
+    sparse_geom_hits: int = 0
+    sparse_geom_misses: int = 0
     fault_report: FaultReport | None = None
 
     @property
@@ -309,6 +329,10 @@ class ICPlatform:
             dead_ranks=tuple(sorted(o.rank for o in outcomes if o.dead)),
             quiesced_at=quiesced_at,
             messages_delivered=cluster.messages_delivered,
+            barriers=cluster.barriers,
+            inner_sweeps=sum(o.inner_sweeps for o in outcomes),
+            sparse_geom_hits=sum(o.sparse_geom_hits for o in outcomes),
+            sparse_geom_misses=sum(o.sparse_geom_misses for o in outcomes),
             fault_report=(
                 cluster.fault_state.report() if cluster.fault_state is not None else None
             ),
@@ -319,10 +343,19 @@ class ICPlatform:
     def _rank_main(self, comm: Communicator, partition: Partition) -> RankOutcome:
         config = self.config
         phases = PhaseTimes()
+        # Hybrid execution supersedes the activation switch: its frontiers
+        # are inherently change-driven, so a DeltaState would be redundant.
+        hybrid = (
+            HybridState(len(self.node_fns), config.hybrid_inner_cap)
+            if config.execution == "hybrid"
+            else None
+        )
         # Change-driven mode threads a DeltaState through the sweeps; the
         # dense pipelines keep the thesis's exact behaviour.
         delta = (
-            DeltaState(len(self.node_fns)) if config.activation == "sparse" else None
+            DeltaState(len(self.node_fns))
+            if hybrid is None and config.activation == "sparse"
+            else None
         )
         # The struct-of-arrays store takes the vectorized pipelines whenever
         # every node function ships a bulk kernel; functions without one
@@ -330,7 +363,10 @@ class ICPlatform:
         # are equally conformant on either store.
         store_cls = SoAStore if config.store == "soa" else NodeStore
         bulk = config.store == "soa" and supports_bulk(self.node_fns)
-        if delta is not None:
+        if hybrid is not None:
+            hybrid_sweep = sweep_hybrid_bulk if bulk else sweep_hybrid
+            sweep = lambda c, s, fn, cx, buf: hybrid_sweep(c, s, fn, cx, buf, hybrid)  # noqa: E731
+        elif delta is not None:
             if config.overlap_communication:
                 delta_sweep = (
                     sweep_overlapped_delta_bulk if bulk else sweep_overlapped_delta
@@ -424,19 +460,25 @@ class ICPlatform:
                 "repartitions": repartitions,
                 "node_compute": dict(ctx.node_compute),
                 "delta": delta.capture() if delta is not None else None,
+                "hybrid": hybrid.capture() if hybrid is not None else None,
             }
 
         def restore_delta(extras: dict[str, Any]) -> None:
             # Reinstate the change frontier a checkpoint captured -- a
             # rollback must not resume with an empty frontier (nodes whose
             # pending changes were rolled back would never recompute).
-            if delta is None:
-                return
-            saved = extras.get("delta")
-            if saved is not None:
-                delta.restore(saved)
-            else:
-                delta.reset_dense()
+            if delta is not None:
+                saved = extras.get("delta")
+                if saved is not None:
+                    delta.restore(saved)
+                else:
+                    delta.reset_dense()
+            if hybrid is not None:
+                saved = extras.get("hybrid")
+                if saved is not None:
+                    hybrid.restore(saved)
+                else:
+                    hybrid.reset_dense()
 
         if has_crashes or (digesting and has_flips) or checkpointer.period:
             # Post-initialization baseline: guarantees a recovery point even
@@ -500,6 +542,13 @@ class ICPlatform:
                             reconfigurations=reconfigurations,
                             integrity_records=integrity_records,
                             repairs=repairs,
+                            inner_sweeps=(
+                                hybrid.inner_sweeps if hybrid is not None else 0
+                            ),
+                            sparse_geom_hits=getattr(store, "sparse_geom_hits", 0),
+                            sparse_geom_misses=getattr(
+                                store, "sparse_geom_misses", 0
+                            ),
                         )
                     t_rec = comm.Wtime()
                     comm.work(detected.detection_cost)
@@ -520,6 +569,11 @@ class ICPlatform:
                         # (fresh version counters), so any saved frontier is
                         # meaningless: fall back to dense sweeps.
                         delta.reset_dense()
+                    if hybrid is not None:
+                        # Same argument -- and the interior/boundary split was
+                        # recomputed by the rebuild, so dense phases re-derive
+                        # the frontiers from the new classification.
+                        hybrid.reset_dense()
                     if guard is not None:
                         guard.rebind(comm, store)
                     recovery_elapsed = comm.Wtime() - t_rec
@@ -737,6 +791,10 @@ class ICPlatform:
                     # frontiers no longer describe this rank's nodes, so the
                     # next sweep of every round runs dense.
                     delta.reset_dense()
+                if hybrid is not None:
+                    # Migration/repartition reclassified interior vs boundary
+                    # nodes wholesale: re-derive both frontiers densely.
+                    hybrid.reset_dense()
                 comm.barrier()
                 phases.load_balancing += comm.Wtime() - t_lb
                 if config.validate_each_iteration:
@@ -812,6 +870,9 @@ class ICPlatform:
             iterations_executed=(
                 iteration if quiescence_records else config.iterations
             ),
+            inner_sweeps=hybrid.inner_sweeps if hybrid is not None else 0,
+            sparse_geom_hits=getattr(store, "sparse_geom_hits", 0),
+            sparse_geom_misses=getattr(store, "sparse_geom_misses", 0),
         )
 
 def run_platform(

@@ -54,8 +54,9 @@ from .nodestore import NodeStore
 
 __all__ = ["SoAStore", "BulkView"]
 
-#: Retained sparse gather geometries per topology epoch (delta frontiers
-#: often alternate between a small number of stable active sets).
+#: Retained sparse gather geometries per topology epoch, evicted LRU
+#: (delta and hybrid frontiers often alternate between a small number of
+#: stable active sets).
 _SPARSE_GEOMETRY_SLOTS = 8
 
 
@@ -151,7 +152,8 @@ class _BulkTopo:
     pos: dict[int, int]
     view_caches: dict[str, tuple] = field(default_factory=dict)
     #: Anonymous sparse gather geometries keyed by the positions bytes
-    #: (bounded FIFO; see :meth:`SoAStore.bulk_view`).
+    #: (bounded LRU over dict insertion order; see
+    #: :meth:`SoAStore.bulk_view`).
     sparse_cache: dict[bytes, tuple] = field(default_factory=dict)
 
 
@@ -675,10 +677,12 @@ class SoAStore(NodeStore):
         memoized on the topology (reused until the next ownership surgery).
         Anonymous sparse views (``positions`` given, no ``key`` -- the
         change-driven sweeps, whose active frontier varies) are memoized
-        too, keyed by the positions bytes in a small FIFO per topology
+        too, keyed by the positions bytes in a small LRU per topology
         epoch: once the frontier stabilizes (or alternates between a few
         working sets), the CSR slice geometry is reused across supersteps
-        instead of being rebuilt every sweep.
+        instead of being rebuilt every sweep.  Hybrid execution leans on
+        this hardest -- a converging interior frontier revisits the same
+        position sets across inner sweeps.
         """
         topo = self.bulk_topology()
         cached = topo.view_caches.get(key) if key is not None else None
@@ -689,6 +693,9 @@ class SoAStore(NodeStore):
             cached = topo.sparse_cache.get(memo_key)
             if cached is not None:
                 self.sparse_geom_hits += 1
+                # Move-to-end: dict insertion order + oldest-first eviction
+                # below makes the memo a true LRU.
+                topo.sparse_cache[memo_key] = topo.sparse_cache.pop(memo_key)
         if cached is None:
             if positions is None:
                 geometry = (

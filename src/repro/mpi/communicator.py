@@ -431,7 +431,17 @@ class Communicator:
         return acc
 
     def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
-        """Reduce then broadcast the result to all ranks."""
+        """Reduce then broadcast the result to all ranks.
+
+        Integer sums on the world communicator take the process backend's
+        shared-memory fast path when available (bit-identical clocks and
+        result, no pipe traffic); every other case runs the gather+bcast
+        trees above.
+        """
+        if op is None:
+            fast = self._cluster.shm_allreduce(self, obj)
+            if fast is not None:
+                return fast[0]
         result = self.reduce(obj, op=op, root=0)
         return self.bcast(result, root=0)
 

@@ -72,6 +72,7 @@ from .message import Message
 from .scheduler import SchedulerBackend, _NullGuard
 from .shm import (
     DEFAULT_RING_CAPACITY,
+    CollectiveBlock,
     RingRef,
     ShadowRing,
     SharedStoreAllocator,
@@ -124,6 +125,11 @@ class _WorkerTransport:
         self.ring_capacity = ring_capacity
         self._out_rings: dict[int, ShadowRing] = {}  # dest world rank -> ring
         self._in_rings: dict[str, ShadowRing] = {}  # segment name -> ring
+        #: Fire-and-forget delivers piped so far (published at each shm
+        #: rendezvous so peers can sync the broker past them).
+        self.delivers_sent = 0
+        self._deliver_watermark = 0  # global delivers known complete
+        self._deliver_synced = 0  # watermark the broker last confirmed
 
     # ---------------------------- plumbing ----------------------------- #
 
@@ -179,15 +185,35 @@ class _WorkerTransport:
             ref = self._ring_to(msg.dest).try_put(msg.payload)
             if ref is not None:  # ring full -> fall back to pickling
                 msg = dataclasses.replace(msg, payload=ref)
+        self.delivers_sent += 1
         self._conn.send(("deliver", msg))
+
+    def note_deliver_watermark(self, total: int) -> None:
+        """A shm rendezvous proved ``total`` delivers precede this point.
+
+        The pipe barrier used to serialize every deliver before the
+        release reply; the shm path restores that ordering lazily -- the
+        next mailbox *query* first makes the broker confirm it has
+        processed ``total`` delivers.  Blocking receives need no sync
+        (the broker parks them until the message lands).
+        """
+        if total > self._deliver_watermark:
+            self._deliver_watermark = total
+
+    def _sync_delivers(self) -> None:
+        if self._deliver_watermark > self._deliver_synced:
+            self._request(("flush", self._deliver_watermark))
+            self._deliver_synced = self._deliver_watermark
 
     def take(
         self, source: int, tag: int, comm_id: Any, consume: bool
     ) -> Message | None:
+        self._sync_delivers()
         msg = self._request(("take", source, tag, comm_id, consume))
         return self._resolve(msg, consume)
 
     def sources(self, tag: int, comm_id: Any) -> list[int]:
+        self._sync_delivers()
         return self._request(("sources", tag, comm_id))
 
     def recv(
@@ -199,7 +225,16 @@ class _WorkerTransport:
     def barrier(self, group: tuple[int, ...], comm_id: Any, clock: float) -> float:
         return self._request(("barrier", group, comm_id, clock))
 
+    def shm_wait(self, gen: int, describe: str) -> None:
+        """Park in the broker until shm rendezvous ``gen`` is released."""
+        self._request(("shmwait", gen, describe))
+
+    def shm_release(self, gen: int) -> None:
+        """Fire-and-forget: rendezvous ``gen`` completed, unpark waiters."""
+        self._conn.send(("shmrelease", gen))
+
     def quarantine(self, dead_srcs: frozenset[int], comm_id: Any) -> int:
+        self._sync_delivers()
         return self._request(("quarantine", dead_srcs, comm_id))
 
     def abort(self, reason: str) -> None:
@@ -275,9 +310,9 @@ def _worker_main(
 
 
 class _Parked:
-    """One worker blocked in the broker (recv or barrier)."""
+    """One worker blocked in the broker (recv, barrier, or shm rendezvous)."""
 
-    __slots__ = ("rank", "kind", "source", "tag", "comm_id", "consume", "key")
+    __slots__ = ("rank", "kind", "source", "tag", "comm_id", "consume", "key", "text")
 
     def __init__(self, rank: int, kind: str, **fields: Any) -> None:
         self.rank = rank
@@ -287,10 +322,17 @@ class _Parked:
         self.comm_id = fields.get("comm_id")
         self.consume = fields.get("consume", True)
         self.key = fields.get("key")
+        self.text = fields.get("text")
 
     def describe(self) -> str:
+        if self.kind == "shmwait":
+            # The worker supplies the message (a shm barrier park must read
+            # byte-identically to a pipe barrier park).
+            return self.text
         if self.kind == "barrier":
             return _barrier_describe(self.rank)
+        if self.kind == "flush":  # pragma: no cover - provably transient
+            return f"deadlock: rank {self.rank} awaiting deliver flush"
         return _recv_describe(self.rank, self.source, self.tag)
 
 
@@ -303,15 +345,25 @@ class _Broker:
     """
 
     def __init__(
-        self, cluster: "SimCluster", conns: list[Any], procs: list[Any]
+        self,
+        cluster: "SimCluster",
+        conns: list[Any],
+        procs: list[Any],
+        shm_block: Any = None,
     ) -> None:
         self._cluster = cluster
         self._conns = conns
         self._procs = procs
+        self._shm_block = shm_block
+        self._shm_gen_done = -1
+        self._delivers_processed = 0
         self._parked: dict[int, _Parked] = {}
         self._unfinished = set(range(cluster.nprocs))
         self.segments: list[str] = []
         self._seen_segments: set[str] = set()
+        #: Worker->broker pipe messages handled (the traffic the
+        #: shared-memory collective path eliminates).
+        self.requests = 0
 
     # ----------------------------- event loop -------------------------- #
 
@@ -338,6 +390,7 @@ class _Broker:
 
     def _handle(self, rank: int, req: tuple) -> None:
         kind = req[0]
+        self.requests += 1
         if kind == "deliver":
             self._deliver(req[1])
         elif kind == "take":
@@ -350,6 +403,12 @@ class _Broker:
             self._recv(rank, *req[1:])
         elif kind == "barrier":
             self._barrier(rank, *req[1:])
+        elif kind == "shmwait":
+            self._shm_wait(rank, *req[1:])
+        elif kind == "shmrelease":
+            self._shm_release(req[1])
+        elif kind == "flush":
+            self._flush(rank, req[1])
         elif kind == "quarantine":
             self._quarantine(rank, *req[1:])
         elif kind == "abort":
@@ -383,6 +442,11 @@ class _Broker:
     # ----------------------------- transport --------------------------- #
 
     def _deliver(self, msg: Message) -> None:
+        # Dropped delivers (abort, quarantine) still count: the sender
+        # counted the pipe write, and flush watermarks track processing,
+        # not mailbox appends.
+        self._delivers_processed += 1
+        self._release_flushes()
         cluster = self._cluster
         if cluster._aborted:
             # The in-thread backends raise CommAbortedError in the sender;
@@ -435,6 +499,7 @@ class _Broker:
             bar.count = 0
             bar.max_clock = 0.0
             bar.generation += 1
+            cluster.barriers += 1
             for member in group:
                 parked = self._parked.get(member)
                 if parked is not None and parked.kind == "barrier" and parked.key == key:
@@ -444,6 +509,56 @@ class _Broker:
         else:
             self._parked[rank] = _Parked(rank, "barrier", key=key)
             self._maybe_deadlock(victim=rank)
+
+    def _shm_wait(self, rank: int, gen: int, describe: str) -> None:
+        """A worker gave up spinning on shm rendezvous ``gen``: park it.
+
+        The release may already have arrived (shmrelease and shmwait race
+        on different pipes); the generation watermark disambiguates.
+        """
+        if self._cluster._aborted:
+            self._reply_err(rank, CommAbortedError(self._abort_reason()))
+            return
+        if gen <= self._shm_gen_done:
+            self._reply(rank, None)
+            return
+        self._parked[rank] = _Parked(rank, "shmwait", key=gen, text=describe)
+        self._maybe_deadlock(victim=rank)
+
+    def _flush(self, rank: int, watermark: int) -> None:
+        """Reply once ``watermark`` delivers have been processed.
+
+        A shm rendezvous proved that many delivers were piped before every
+        rank passed it, so they are all in flight already: the park below
+        is always released by pipe traffic and can never join a deadlock
+        (any rank that parks for good has its prior delivers processed
+        first -- pipe FIFO -- so an all-parked state satisfies every
+        flush watermark).
+        """
+        if self._cluster._aborted:
+            self._reply_err(rank, CommAbortedError(self._abort_reason()))
+            return
+        if self._delivers_processed >= watermark:
+            self._reply(rank, None)
+            return
+        self._parked[rank] = _Parked(rank, "flush", key=watermark)
+
+    def _release_flushes(self) -> None:
+        for rank in list(self._parked):
+            parked = self._parked[rank]
+            if parked.kind == "flush" and parked.key <= self._delivers_processed:
+                del self._parked[rank]
+                self._reply(rank, None)
+
+    def _shm_release(self, gen: int) -> None:
+        """Rendezvous ``gen`` completed in shared memory: unpark waiters."""
+        if gen > self._shm_gen_done:
+            self._shm_gen_done = gen
+        for rank in list(self._parked):
+            parked = self._parked[rank]
+            if parked.kind == "shmwait" and parked.key <= self._shm_gen_done:
+                del self._parked[rank]
+                self._reply(rank, None)
 
     def _quarantine(
         self, rank: int, dead_srcs: frozenset[int], comm_id: Any
@@ -509,6 +624,8 @@ class _Broker:
         if not cluster._aborted:
             cluster._aborted = True
             cluster._abort_reason = reason
+        if self._shm_block is not None:
+            self._shm_block.set_abort()  # wake spinners in shm rendezvous
         exc = CommAbortedError(self._abort_reason())
         for rank in list(self._parked):
             del self._parked[rank]
@@ -532,6 +649,8 @@ class _Broker:
         cluster = self._cluster
         cluster._aborted = True
         cluster._abort_reason = reason
+        if self._shm_block is not None:
+            self._shm_block.set_abort()
         del self._parked[victim]
         self._reply_err(victim, DeadlockError(reason))
         peer_exc = CommAbortedError(reason)
@@ -594,6 +713,14 @@ class ProcessScheduler(SchedulerBackend):
         pipes = [ctx.Pipe(duplex=True) for _ in range(nprocs)]
         procs = []
         broker = None
+        shm_block = None
+        cluster = self._cluster
+        if cluster.shm_collectives and nprocs > 1:
+            # Created before forking so every worker inherits the mapping
+            # and the lock; installed on the cluster so the runtime's
+            # barrier/allreduce fast paths find it inside the workers.
+            shm_block = CollectiveBlock(f"{prefix}-coll", nprocs, ctx)
+            cluster._shm_coll = shm_block
         try:
             for rank in range(nprocs):
                 proc = ctx.Process(
@@ -613,7 +740,9 @@ class ProcessScheduler(SchedulerBackend):
                 procs.append(proc)
             for _, child_end in pipes:
                 child_end.close()
-            broker = _Broker(self._cluster, [p for p, _ in pipes], procs)
+            broker = _Broker(
+                self._cluster, [p for p, _ in pipes], procs, shm_block=shm_block
+            )
             broker.loop()
             for proc in procs:
                 proc.join(timeout=10.0)
@@ -624,6 +753,16 @@ class ProcessScheduler(SchedulerBackend):
                     proc.join(timeout=5.0)
             for parent_end, _ in pipes:
                 parent_end.close()
+            if broker is not None:
+                cluster.pipe_requests = broker.requests
+            if shm_block is not None:
+                # Fold the rendezvous tallies into the cluster counters the
+                # in-thread backends maintain natively, so the observability
+                # surface is backend-independent.
+                cluster.barriers += shm_block.barrier_count
+                cluster.messages_delivered += shm_block.msg_count
+                cluster._shm_coll = None
+                shm_block.release()
             # Reap every shared segment, registered or stray: workers never
             # unlink (a receiver may attach after the producer exited), so
             # the parent is the single point of truth for cleanup.

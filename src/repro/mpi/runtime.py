@@ -52,7 +52,7 @@ from .errors import CommAbortedError, DeadlockError  # noqa: F401 - re-export
 from .faults import FaultPlan, FaultState
 from .message import Mailbox, Message
 from .scheduler import make_scheduler, resolve_scheduler_name
-from .timing import ORIGIN2000, MachineModel
+from .timing import ORIGIN2000, MachineModel, estimate_nbytes
 
 __all__ = ["RankState", "SimCluster", "run_mpi"]
 
@@ -113,6 +113,12 @@ class SimCluster:
             and payload corruption injected by a
             :class:`~repro.mpi.faults.MessageFlipSpec` is absorbed by a
             priced NACK + retransmit path instead of escaping silently.
+        shm_collectives: On the ``"process"`` backend, arbitrate world
+            barriers and integer-sum allreduces through a shared-memory
+            rendezvous block instead of the per-worker command pipe
+            (cutting two pipe round-trips per platform superstep);
+            virtual-time results are identical either way.  Ignored by
+            the in-thread backends.
         scheduler: Execution backend: ``"event"`` (cooperative, precise
             wakeups, exact deadlock detection -- the default),
             ``"threads"`` (preemptive, polling watchdog), or ``"process"``
@@ -131,6 +137,7 @@ class SimCluster:
         sched_jitter: Callable[[], None] | None = None,
         checksums: bool = False,
         scheduler: str | None = None,
+        shm_collectives: bool = True,
     ) -> None:
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
@@ -139,6 +146,7 @@ class SimCluster:
         self.deadlock_timeout = deadlock_timeout
         self.faults = faults
         self.checksums = checksums
+        self.shm_collectives = shm_collectives
         self.fault_state: FaultState | None = (
             FaultState(faults, nprocs) if faults is not None else None
         )
@@ -151,6 +159,16 @@ class SimCluster:
         #: observability for the delta-exchange benchmark; quarantined and
         #: dropped messages never count).
         self.messages_delivered = 0
+        #: Barrier releases executed this run (host observability for the
+        #: hybrid-execution benchmark: interior sweeps are barrier-free).
+        self.barriers = 0
+        #: Pipe request/reply messages the process-backend broker handled
+        #: last run (0 on in-thread backends) -- what shm collectives cut.
+        self.pipe_requests = 0
+        self._world_group = tuple(range(nprocs))
+        # Shared-memory collective rendezvous block (process backend only):
+        # created by ProcessScheduler before forking so workers inherit it.
+        self._shm_coll: Any = None
         self._aborted = False
         self._abort_reason: str | None = None
         # (comm_id, local src) pairs condemned by quarantine(): a dead rank's
@@ -209,6 +227,8 @@ class SimCluster:
             state.error = None
         self._barriers.clear()
         self.messages_delivered = 0
+        self.barriers = 0
+        self.pipe_requests = 0
         self._aborted = False
         self._abort_reason = None
         # Quarantine filters installed by a previous shrink recovery would
@@ -438,6 +458,29 @@ class SimCluster:
         if self._worker is not None:
             state = self._ranks[rank]
             self._check_abort()
+            block = self._shm_coll
+            if (
+                block is not None
+                and comm_id == (0, "barrier")
+                and group == self._world_group
+                and self.fault_state is None
+            ):
+                # Shared-memory rendezvous: publish the entry clock, wait
+                # for the generation to flip, and derive the release clock
+                # locally from the published clocks -- identical to the
+                # broker's max+barrier_time, without the pipe round-trip.
+                clocks, _ = block.exchange(
+                    rank,
+                    state.clock,
+                    0,
+                    self._worker,
+                    describe=f"deadlock: rank {rank} stuck in barrier",
+                    barriers=1,
+                    messages=0,
+                )
+                release = max(clocks) + self.machine.barrier_time(len(group))
+                state.clock = max(state.clock, release)
+                return release
             release = self._worker.barrier(group, comm_id, state.clock)
             state.clock = max(state.clock, release)
             return release
@@ -454,6 +497,7 @@ class SimCluster:
                 bar.count = 0
                 bar.max_clock = 0.0
                 bar.generation += 1
+                self.barriers += 1
                 self._backend.notify(group)
             else:
                 self._backend.wait(
@@ -464,6 +508,115 @@ class SimCluster:
             release = bar.release_clock
             state.clock = max(state.clock, release)
             return release
+
+    def shm_allreduce(self, comm: Any, value: Any) -> tuple[int] | None:
+        """World-communicator integer-sum allreduce over shared memory.
+
+        The process-backend fast path: every rank publishes its (clock,
+        value) pair into the collective block, the rendezvous completes,
+        and each rank *replays* the pipe implementation's exact charge
+        sequence (gather-to-root-0 + binomial bcast) locally over the
+        published clocks -- bit-identical virtual time, zero pipe traffic.
+
+        Returns ``(total,)`` (wrapped so a legitimate 0 survives the
+        caller's None test), or ``None`` whenever the fast path does not
+        apply: in-thread backends, sub-communicators, non-int payloads, or
+        an armed fault plan (fault draws live in per-rank PRNG streams the
+        replay cannot consult).
+        """
+        block = self._shm_coll
+        if (
+            block is None
+            or self._worker is None
+            or comm._comm_id != 0
+            or comm._group != self._world_group
+            or self.fault_state is not None
+            or type(value) is not int
+            or not -(2**62) < value < 2**62
+        ):
+            return None
+        self._check_abort()
+        rank = comm._world_rank
+        state = self._ranks[rank]
+        n = len(self._world_group)
+        clocks, values = block.exchange(
+            rank,
+            state.clock,
+            value,
+            self._worker,
+            describe=f"deadlock: rank {rank} stuck in allreduce",
+            barriers=0,
+            messages=2 * (n - 1),
+        )
+        new_clocks, total = _replay_world_allreduce(
+            self.machine, self.checksums, clocks, values
+        )
+        state.clock = new_clocks[rank]
+        # The pipe path consumes two collective tags (reduce + bcast);
+        # stay in lockstep so later collectives match across backends.
+        comm._coll_seq += 2
+        return (total,)
+
+
+def _replay_world_allreduce(
+    machine: MachineModel,
+    checksums: bool,
+    clocks: Sequence[float],
+    values: Sequence[int],
+) -> tuple[list[float], int]:
+    """Charge-exact replay of ``allreduce`` on the world communicator.
+
+    Transcribes :meth:`Communicator.reduce` (gather to root 0: non-roots
+    isend, root receives ranks 1..n-1 in source order, combine ascending)
+    followed by :meth:`Communicator.bcast` (binomial tree from root 0,
+    children messaged in decreasing-mask order), with the world-rank
+    identity mapping (local rank == world rank).  Returns the post-call
+    clock of every rank plus the summed total.
+    """
+    n = len(clocks)
+    c = list(clocks)
+    sizes = [estimate_nbytes(v) for v in values]
+    arrival = [0.0] * n
+    # reduce: gather to root 0 (eager isends, then ordered receives).
+    for r in range(1, n):
+        c[r] += machine.sender_cpu(sizes[r])
+        if checksums:
+            c[r] += machine.checksum_time(sizes[r])
+        arrival[r] = c[r] + machine.transfer_time_between(sizes[r], r, 0)
+    for r in range(1, n):
+        if arrival[r] > c[0]:
+            c[0] = arrival[r]
+        if checksums:
+            c[0] += machine.checksum_time(sizes[r])
+        c[0] += machine.receiver_cpu(sizes[r])
+    total = values[0]
+    for r in range(1, n):
+        total = total + values[r]
+    # bcast from root 0: ascending vrank order is a valid execution order
+    # because every parent index is smaller than its children's.
+    bsize = estimate_nbytes(total)
+    for v in range(n):
+        if v == 0:
+            lowbit = 1
+            while lowbit < n:
+                lowbit <<= 1
+        else:
+            lowbit = v & -v
+            if arrival[v] > c[v]:
+                c[v] = arrival[v]
+            if checksums:
+                c[v] += machine.checksum_time(bsize)
+            c[v] += machine.receiver_cpu(bsize)
+        mask = lowbit >> 1
+        while mask >= 1:
+            child = v + mask
+            if child < n:
+                c[v] += machine.sender_cpu(bsize)
+                if checksums:
+                    c[v] += machine.checksum_time(bsize)
+                arrival[child] = c[v] + machine.transfer_time_between(bsize, v, child)
+            mask >>= 1
+    return c, total
 
 
 def run_mpi(

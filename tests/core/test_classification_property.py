@@ -1,0 +1,151 @@
+"""Property tests for interior/boundary node classification.
+
+Hybrid execution is only sound if the interior/boundary split is exact:
+interior nodes may iterate locally without synchronization *because*
+none of their neighbours live on another rank.  These properties pin the
+classification invariants for ANY random connected graph and assignment,
+and keep them pinned across the three ownership-changing operations --
+migration batches, repartition-style rebuilds, and shrink-style rank
+removal.
+
+The invariants (checked on every rank's store):
+
+* every owned node sits in exactly one of ``store.internal`` /
+  ``store.peripheral``;
+* a node is peripheral iff it has at least one remote neighbour under
+  the current assignment (so every cut edge has boundary endpoints);
+* interior nodes have all-local neighbourhoods (the hybrid inner loop
+  touches no remote state);
+* the object store and the SoA store agree on the classification.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ComputeContext, NodeStore, PlatformCosts
+from repro.core.migration import migrate_node, select_migrating_node
+from repro.core.soastore import SoAStore
+from repro.graphs import random_connected_graph
+from repro.mpi import run_mpi
+
+
+def assert_classification_exact(store, graph, assignment):
+    """The hybrid soundness contract, spelled out edge by edge."""
+    rank = store.rank
+    owned = {gid for gid, owner in enumerate(assignment, start=1) if owner == rank}
+    interior = set(store.internal)
+    boundary = set(store.peripheral)
+    # Exactly one class per owned node, no strays.
+    assert interior | boundary == owned
+    assert not interior & boundary
+    for gid in owned:
+        remote = [v for v in graph.neighbors(gid) if assignment[v - 1] != rank]
+        if remote:
+            assert gid in boundary, f"node {gid} has remote {remote} but is interior"
+        else:
+            assert gid in interior, f"node {gid} is all-local but boundary"
+    # Every cut edge incident to this rank ends on a boundary node.
+    for gid in owned:
+        for v in graph.neighbors(gid):
+            if assignment[v - 1] != rank:
+                assert gid in boundary
+
+
+def assert_stores_agree(graph, assignment, nprocs):
+    """Object and SoA stores classify identically from the same inputs."""
+    for rank in range(nprocs):
+        obj = NodeStore(rank, graph, list(assignment), lambda gid: float(gid))
+        soa = SoAStore(rank, graph, list(assignment), lambda gid: float(gid))
+        assert set(obj.internal) == set(soa.internal)
+        assert set(obj.peripheral) == set(soa.peripheral)
+        assert_classification_exact(obj, graph, assignment)
+        assert_classification_exact(soa, graph, assignment)
+
+
+@st.composite
+def classification_cases(draw):
+    n = draw(st.integers(min_value=6, max_value=18))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    graph = random_connected_graph(n, avg_degree=3.0, seed=seed)
+    nprocs = draw(st.integers(min_value=2, max_value=4))
+    assignment = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=nprocs - 1),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    moves = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=nprocs - 1),
+                st.integers(min_value=0, max_value=nprocs - 1),
+            ).filter(lambda p: p[0] != p[1]),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    return graph, nprocs, assignment, moves
+
+
+@given(classification_cases())
+@settings(max_examples=15, deadline=None)
+def test_fresh_build_classification(case):
+    graph, nprocs, assignment, _ = case
+    assert_stores_agree(graph, assignment, nprocs)
+
+
+@given(classification_cases())
+@settings(max_examples=10, deadline=None)
+def test_classification_survives_migration(case):
+    """Each migration promotes/demotes internal and peripheral nodes on
+    both sides of the move; the patched stores must stay exact."""
+    graph, nprocs, assignment, moves = case
+
+    def prog(comm):
+        store = NodeStore(comm.rank, graph, list(assignment), lambda g: float(g))
+        ctx = ComputeContext(comm, PlatformCosts(), graph.num_nodes)
+        for busy, idle in moves:
+            gid = None
+            if comm.rank == busy:
+                gid = select_migrating_node(store, idle)
+            gid = comm.bcast(gid, root=busy)
+            if gid is None:
+                continue
+            store.assignment[gid - 1] = idle
+            migrate_node(comm, store, gid, busy, idle, ctx)
+            assert_classification_exact(store, graph, store.assignment)
+        store.check_invariants()
+        return tuple(store.assignment)
+
+    finals = run_mpi(prog, nprocs)
+    assert len(set(finals)) == 1  # all ranks agree on the final map
+
+
+@given(classification_cases())
+@settings(max_examples=10, deadline=None)
+def test_classification_survives_repartition(case):
+    """A repartition rebuilds every store from a brand-new assignment
+    (derived here by rotating ownership) -- classification must be exact
+    for the new map, with no leakage from the old one."""
+    graph, nprocs, assignment, _ = case
+    rotated = [(owner + 1) % nprocs for owner in assignment]
+    assert_stores_agree(graph, rotated, nprocs)
+
+
+@given(classification_cases())
+@settings(max_examples=10, deadline=None)
+def test_classification_survives_shrink(case):
+    """Shrink recovery folds a dead rank's nodes onto the survivors and
+    rebuilds; cut edges against the dead rank disappear and previously
+    peripheral nodes may become interior."""
+    graph, nprocs, assignment, _ = case
+    dead = nprocs - 1
+    survivors = nprocs - 1
+    if survivors < 1:
+        return
+    shrunk = [owner if owner != dead else gid0 % survivors
+              for gid0, owner in enumerate(assignment)]
+    assert_stores_agree(graph, shrunk, max(survivors, 1))

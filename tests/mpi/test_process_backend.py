@@ -193,6 +193,130 @@ class TestProcessConformance:
 
 
 # --------------------------------------------------------------------- #
+# Shared-memory collectives (world barrier + quiescence allreduce)
+# --------------------------------------------------------------------- #
+
+
+def _collective_traffic(comm):
+    """Exercise every shm fast-path surface in one program.
+
+    Each superstep isends to a neighbour, barriers on the world
+    communicator, discovers the sender via ``pending_sources`` (the probe
+    the deliver-flush watermark protects), and votes with an integer
+    allreduce -- the same shape as a change-driven platform superstep.
+    """
+    total = float(comm.rank)
+    for step in range(8):
+        peer = (comm.rank + 1) % comm.size
+        comm.isend(total + step, dest=peer, tag=7)
+        comm.work((comm.rank + 1) * 1e-5)
+        comm.barrier()
+        for src in comm.pending_sources(7):
+            total += comm.recv(source=src, tag=7)
+        total = comm.allreduce(int(total)) / comm.size
+    return total, comm.Wtime()
+
+
+class TestShmCollectives:
+    """Satellite: barriers and int allreduces on the world communicator
+    rendezvous in a shared CollectiveBlock instead of the command pipe."""
+
+    def _run(self, scheduler, shm):
+        cluster = SimCluster(4, scheduler=scheduler, shm_collectives=shm)
+        results = cluster.run(_collective_traffic)
+        return results, cluster
+
+    def test_identity_and_counters_vs_event(self):
+        event, _ = self._run("event", True)
+        for shm in (True, False):
+            process, _ = self._run("process", shm)
+            assert process == event, f"shm_collectives={shm}"
+        _assert_no_leaked_segments()
+
+    def test_observability_counters_conform(self):
+        """cluster.barriers and messages_delivered are backend- and
+        path-independent: the parent folds the block's tallies in."""
+        _, ev = self._run("event", True)
+        _, shm_on = self._run("process", True)
+        _, shm_off = self._run("process", False)
+        assert shm_on.barriers == ev.barriers == shm_off.barriers
+        assert (
+            shm_on.messages_delivered
+            == ev.messages_delivered
+            == shm_off.messages_delivered
+        )
+        _assert_no_leaked_segments()
+
+    def test_pipe_traffic_reduced(self):
+        """The whole point: arbitration moves off the command pipe.  Every
+        barrier saves one round-trip per rank and every allreduce the
+        2(n-1) gather+bcast hops, so the broker handles strictly fewer
+        requests with the block enabled."""
+        _, shm_on = self._run("process", True)
+        _, shm_off = self._run("process", False)
+        assert shm_on.pipe_requests < shm_off.pipe_requests
+        # 8 supersteps x 4 ranks x (1 barrier + 1 allreduce>=2 requests)
+        # all leave the pipe; flush syncs add back at most 1 per rank per
+        # rendezvous.
+        assert shm_off.pipe_requests - shm_on.pipe_requests > 32
+        _assert_no_leaked_segments()
+
+    def test_send_visible_after_shm_barrier(self):
+        """Regression: fire-and-forget delivers race the shm barrier on
+        separate pipes; the deliver watermark published through the
+        rendezvous must make them visible to post-barrier probes."""
+
+        def prog(comm):
+            seen = 0
+            for step in range(50):
+                if comm.rank == 0:
+                    comm.isend(float(step), dest=1, tag=3)
+                comm.barrier()
+                if comm.rank == 1:
+                    sources = comm.pending_sources(3)
+                    assert sources == [0], f"step {step}: missed send"
+                    comm.recv(source=0, tag=3)
+                    seen += 1
+            return seen
+
+        results = run_mpi(prog, 2, scheduler="process")
+        assert results[1] == 50
+        _assert_no_leaked_segments()
+
+    def test_barrier_deadlock_message_identical(self):
+        """A rank parked in a shm barrier must surface in the deadlock
+        report byte-identically to a pipe-barrier park."""
+
+        def stuck(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=5)  # never sent
+            else:
+                comm.barrier()
+
+        messages = {}
+        for shm in (True, False):
+            cluster = SimCluster(3, scheduler="process", shm_collectives=shm)
+            with pytest.raises(DeadlockError) as excinfo:
+                cluster.run(stuck)
+            messages[shm] = str(excinfo.value)
+        assert messages[True] == messages[False]
+        _assert_no_leaked_segments()
+
+    def test_float_allreduce_stays_on_pipe(self):
+        """Only int payloads replay exactly through the block; float
+        votes fall back to the pipe path and still conform."""
+
+        def prog(comm):
+            comm.barrier()
+            return comm.allreduce(float(comm.rank) * 0.5), comm.Wtime()
+
+        event = SimCluster(3, scheduler="event").run(prog)
+        process = SimCluster(3, scheduler="process").run(prog)
+        assert event == process
+        _assert_no_leaked_segments()
+
+
+# --------------------------------------------------------------------- #
 # Deadlock and failure semantics
 # --------------------------------------------------------------------- #
 

@@ -138,7 +138,12 @@ class TestPlatformScheduleFuzz:
 
         clean = run()
         reference = run(faults=plan)
-        assert reference.values == clean.values  # transparency
+        # Transparency vs fault-free is a BSP fact: shrink changes the
+        # partition mid-run, and under hybrid execution the (converging)
+        # trajectory is legitimately partition-dependent.  Schedule
+        # independence below must hold in every mode.
+        if PlatformConfig().execution == "bsp":
+            assert reference.values == clean.values  # transparency
         assert reference.dead_ranks == (2,)
         assert reference.trace.reconfiguration_events()
         for i in range(RUNS):
